@@ -1,0 +1,214 @@
+(* churnet command-line interface: list / run / all / demo. *)
+
+open Cmdliner
+module Registry = Churnet_experiments.Registry
+module Report = Churnet_experiments.Report
+module Scale = Churnet_experiments.Scale
+
+let seed_arg =
+  let doc = "PRNG seed (every run is deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Also write every table of the report(s) as CSV files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let write_csvs dir (report : Report.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i table ->
+      let path = Filename.concat dir (Printf.sprintf "%s_table%d.csv" report.id (i + 1)) in
+      let oc = open_out path in
+      output_string oc (Churnet_util.Table.to_csv table);
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    report.tables
+
+let scale_arg =
+  let doc = "Effort level: smoke, standard or full." in
+  let parse s =
+    match Scale.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  let print fmt v = Format.pp_print_string fmt (Scale.to_string v) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Scale.Standard
+    & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let list_cmd =
+  let run () =
+    let table = Churnet_util.Table.create [ "id"; "group"; "title" ] in
+    List.iter
+      (fun (e : Registry.entry) ->
+        Churnet_util.Table.add_row table [ e.id; e.group; e.title ])
+      Registry.all;
+    Churnet_util.Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all experiments (Table 1 cells and figures).")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E1, F3).")
+  in
+  let run id seed scale csv =
+    match Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `churnet list`\n" id;
+        exit 1
+    | Some e ->
+        let report = e.run ~seed ~scale in
+        print_string (Report.render report);
+        (match csv with Some dir -> write_csvs dir report | None -> ());
+        if not (Report.all_hold report) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured report.")
+    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg)
+
+let all_cmd =
+  let group_arg =
+    let doc = "Restrict to a group: table1, figures, extensions or theory." in
+    Arg.(value & opt (some string) None & info [ "group" ] ~docv:"GROUP" ~doc)
+  in
+  let run group seed scale csv =
+    let entries =
+      match group with
+      | Some "table1" -> Registry.table1
+      | Some "figures" -> Registry.figures
+      | Some "extensions" -> Registry.extensions
+      | Some "theory" -> Registry.theory
+      | Some other ->
+          Printf.eprintf "unknown group %S (use table1, figures, extensions or theory)\n" other;
+          exit 1
+      | None -> Registry.all
+    in
+    let reports =
+      List.map
+        (fun (e : Registry.entry) ->
+          Printf.printf "... running %s (%s)\n%!" e.id e.title;
+          e.run ~seed ~scale)
+        entries
+    in
+    List.iter (fun r -> print_string (Report.render r)) reports;
+    (match csv with
+    | Some dir -> List.iter (write_csvs dir) reports
+    | None -> ());
+    print_newline ();
+    Churnet_util.Table.print (Registry.summary reports);
+    if not (List.for_all Report.all_hold reports) then exit 2
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment and print a roll-up summary.")
+    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg)
+
+let demo_cmd =
+  let run seed =
+    let rng = Churnet_util.Prng.create seed in
+    Printf.printf "Building a PDGR network (n = 1000, d = 8) and flooding it...\n%!";
+    let m =
+      Churnet_core.Poisson_model.create ~rng ~n:1000 ~d:8 ~regenerate:true ()
+    in
+    Churnet_core.Poisson_model.warm_up m;
+    let tr = Churnet_core.Flood.run_poisson_discretized m in
+    Printf.printf "population %d, informed %d, completed %b in %s rounds\n"
+      tr.final_population tr.final_informed tr.completed
+      (match tr.completion_round with Some r -> string_of_int r | None -> "-");
+    Array.iteri
+      (fun i inf -> Printf.printf "  round %2d: %4d informed / %4d alive\n" i inf
+          tr.population_per_round.(i))
+      tr.informed_per_round
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Tiny end-to-end demo: flood a PDGR network.")
+    Term.(const run $ seed_arg)
+
+let fingerprint_cmd =
+  let kind_arg =
+    let doc = "Model kind: SDG, SDGR, PDG or PDGR." in
+    Arg.(value & opt string "PDGR" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 2000 & info [ "n"; "size" ] ~docv:"N" ~doc:"Stationary population.") in
+  let d_arg = Arg.(value & opt int 8 & info [ "d"; "degree" ] ~docv:"D" ~doc:"Out-degree.") in
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz DOT rendering of the snapshot.")
+  in
+  let run kind n d seed dot =
+    match Churnet_core.Models.kind_of_string kind with
+    | None ->
+        Printf.eprintf "unknown model kind %S (use SDG/SDGR/PDG/PDGR)\n" kind;
+        exit 1
+    | Some k ->
+        let rng = Churnet_util.Prng.create seed in
+        let m = Churnet_core.Models.create ~rng k ~n ~d in
+        Churnet_core.Models.warm_up m;
+        let snap = Churnet_core.Models.snapshot m in
+        let fp = Churnet_graph.Metrics.fingerprint ~rng snap in
+        let table = Churnet_util.Table.create [ "metric"; "value" ] in
+        let add l v = Churnet_util.Table.add_row table [ l; v ] in
+        add "model" (Churnet_core.Models.kind_name k);
+        add "nodes" (string_of_int fp.nodes);
+        add "edges" (string_of_int fp.edges);
+        add "mean degree" (Churnet_util.Table.fmt_float ~digits:2 fp.mean_degree);
+        add "max degree" (string_of_int fp.max_degree);
+        add "degree gini" (Churnet_util.Table.fmt_float ~digits:3 fp.degree_gini);
+        add "global clustering" (Churnet_util.Table.fmt_float ~digits:4 fp.global_clustering);
+        add "assortativity" (Churnet_util.Table.fmt_float ~digits:3 fp.assortativity);
+        add "mean distance" (Churnet_util.Table.fmt_float ~digits:2 fp.mean_distance);
+        add "diameter >=" (string_of_int fp.diameter_lb);
+        add "giant component" (Churnet_util.Table.fmt_pct fp.giant_fraction);
+        Churnet_util.Table.print table;
+        match dot with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Churnet_graph.Snapshot.to_dot snap);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "fingerprint" ~doc:"Print the topology fingerprint of a warmed-up model snapshot.")
+    Term.(const run $ kind_arg $ n_arg $ d_arg $ seed_arg $ dot_arg)
+
+let flood_cmd =
+  let kind_arg =
+    let doc = "Model kind: SDG, SDGR, PDG or PDGR." in
+    Arg.(value & opt string "SDGR" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 1000 & info [ "n"; "size" ] ~docv:"N" ~doc:"Stationary population.") in
+  let d_arg = Arg.(value & opt int 8 & info [ "d"; "degree" ] ~docv:"D" ~doc:"Out-degree.") in
+  let run kind n d seed =
+    match Churnet_core.Models.kind_of_string kind with
+    | None ->
+        Printf.eprintf "unknown model kind %S (use SDG/SDGR/PDG/PDGR)\n" kind;
+        exit 1
+    | Some k ->
+        let rng = Churnet_util.Prng.create seed in
+        let m = Churnet_core.Models.create ~rng k ~n ~d in
+        Churnet_core.Models.warm_up m;
+        let tr = Churnet_core.Models.flood m in
+        Printf.printf "flooding a %s network (n = %d, d = %d, seed %d)\n\n"
+          (Churnet_core.Models.kind_name k) n d seed;
+        Array.iteri
+          (fun i inf ->
+            let pop = tr.Churnet_core.Flood.population_per_round.(i) in
+            Printf.printf "  round %3d: %6d / %6d informed (%.1f%%)\n" i inf pop
+              (100. *. float_of_int inf /. float_of_int pop))
+          tr.Churnet_core.Flood.informed_per_round;
+        (match tr.Churnet_core.Flood.completion_round with
+        | Some r -> Printf.printf "\ncompleted in %d rounds\n" r
+        | None ->
+            Printf.printf "\ndid not complete (peak coverage %.1f%%)\n"
+              (100. *. tr.Churnet_core.Flood.peak_coverage))
+  in
+  Cmd.v
+    (Cmd.info "flood" ~doc:"Run one flooding experiment and print the round-by-round trace.")
+    Term.(const run $ kind_arg $ n_arg $ d_arg $ seed_arg)
+
+let () =
+  let doc =
+    "Reproduction of `Expansion and Flooding in Dynamic Random Networks with Node \
+     Churn' (Becchetti et al., ICDCS 2021)."
+  in
+  let info = Cmd.info "churnet" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; fingerprint_cmd; flood_cmd ]))

@@ -1,0 +1,60 @@
+(* Flooding sends to every neighbor each round; gossip contacts one.
+   This example compares the spread curves of flooding, push, pull and
+   push-pull gossip on the same PDGR network — showing the Table 1
+   behaviour survives the weaker communication primitive.
+
+     dune exec examples/gossip_vs_flooding.exe *)
+
+open Churnet_core
+
+let spread_curve label points =
+  Churnet_util.Asciiplot.{ label; points }
+
+let () =
+  let n = 2000 and d = 8 in
+  Printf.printf "Spreading one rumor over PDGR (n = %d, d = %d)\n\n%!" n d;
+  let curve_of_informed informed population =
+    Array.mapi
+      (fun i inf ->
+        (float_of_int i, float_of_int inf /. float_of_int population.(i)))
+      informed
+  in
+  let flood_curve =
+    let m = Models.create ~rng:(Churnet_util.Prng.create 5) Models.PDGR ~n ~d in
+    Models.warm_up m;
+    let tr = Models.flood m in
+    curve_of_informed tr.Flood.informed_per_round tr.Flood.population_per_round
+  in
+  let gossip_curve strategy =
+    let m = Models.create ~rng:(Churnet_util.Prng.create 5) Models.PDGR ~n ~d in
+    Models.warm_up m;
+    let tr = Gossip.run ~strategy m in
+    ( curve_of_informed tr.Gossip.informed_per_round tr.Gossip.population_per_round,
+      tr.Gossip.completion_round,
+      tr.Gossip.messages_sent )
+  in
+  let push, push_done, push_msgs = gossip_curve Gossip.Push in
+  let pull, pull_done, pull_msgs = gossip_curve Gossip.Pull in
+  let pp, pp_done, pp_msgs = gossip_curve Gossip.Push_pull in
+  print_string
+    (Churnet_util.Asciiplot.plot ~title:"rumor coverage over time" ~xlabel:"round"
+       ~ylabel:"coverage"
+       [
+         spread_curve "flooding" flood_curve;
+         spread_curve "push" push;
+         spread_curve "pull" pull;
+         spread_curve "push-pull" pp;
+       ]);
+  let show name done_round msgs =
+    Printf.printf "  %-10s %s rounds, %d messages\n" name
+      (match done_round with Some r -> string_of_int r | None -> ">budget")
+      msgs
+  in
+  print_newline ();
+  show "push" push_done push_msgs;
+  show "pull" pull_done pull_msgs;
+  show "push-pull" pp_done pp_msgs;
+  Printf.printf
+    "\nPush-pull completes almost as fast as full flooding while sending\n\
+     one message per node per round — the classic rumor-spreading picture,\n\
+     here under continuous node churn.\n"

@@ -1,0 +1,54 @@
+(* Record a dynamic-graph run as an event log, save it, parse it back and
+   replay it to an arbitrary point — the forensic workflow for inspecting
+   the exact topology a flood traversed.
+
+     dune exec examples/record_replay.exe *)
+
+open Churnet_graph
+open Churnet_core
+
+let () =
+  let n = 300 and d = 4 in
+  Printf.printf "Recording %d rounds of SDGR churn (n = %d, d = %d)...\n" (3 * n) n d;
+  let model =
+    Streaming_model.create ~rng:(Churnet_util.Prng.create 99) ~n ~d ~regenerate:true ()
+  in
+  let log = Event_log.create () in
+  Event_log.attach log (Streaming_model.graph model);
+  Streaming_model.run model (3 * n);
+  Event_log.detach log (Streaming_model.graph model);
+  Printf.printf "  captured %d events\n" (Event_log.length log);
+
+  (* Serialize and parse back. *)
+  let text = Event_log.to_string log in
+  Printf.printf "  serialized to %d bytes; first lines:\n" (String.length text);
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> i < 3)
+  |> List.iter (fun line -> Printf.printf "    %s\n" line);
+  (match Event_log.of_string text with
+  | Ok log2 ->
+      Printf.printf "  parsed back: %d events (round-trip ok)\n" (Event_log.length log2)
+  | Error e -> Printf.printf "  parse error: %s\n" e);
+
+  (* Replay to several points in time and watch the topology mature. *)
+  print_newline ();
+  Printf.printf "Topology while the network filled up:\n";
+  let total = Event_log.length log in
+  List.iter
+    (fun frac ->
+      let upto = total * frac / 100 in
+      let snap = Event_log.replay ~upto log in
+      Printf.printf
+        "  after %3d%% of events: %4d nodes, %5d edges, largest component %4d\n" frac
+        (Snapshot.n snap) (Snapshot.edge_count snap)
+        (Snapshot.largest_component snap))
+    [ 5; 20; 50; 100 ];
+
+  (* The final replay matches the live graph exactly. *)
+  let live = Streaming_model.snapshot model in
+  let replayed = Event_log.replay log in
+  let same =
+    Snapshot.n live = Snapshot.n replayed
+    && Snapshot.edge_count live = Snapshot.edge_count replayed
+  in
+  Printf.printf "\nReplayed final state matches the live graph: %b\n" same

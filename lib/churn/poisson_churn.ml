@@ -1,0 +1,44 @@
+module Prng = Churnet_util.Prng
+module Dist = Churnet_util.Dist
+
+type t = {
+  lambda : float;
+  mu : float;
+  rng : Prng.t;
+  mutable time : float;
+  mutable round : int;
+  mutable births : int;
+  mutable deaths : int;
+}
+
+type decision = Birth | Death
+
+let create ?rng ?(lambda = 1.) ~n () =
+  if n <= 0 then invalid_arg "Poisson_churn.create: n must be positive";
+  if lambda <= 0. then invalid_arg "Poisson_churn.create: lambda must be positive";
+  let rng = match rng with Some r -> r | None -> Prng.create 0xCAFE in
+  { lambda; mu = lambda /. float_of_int n; rng; time = 0.; round = 0; births = 0; deaths = 0 }
+
+let lambda t = t.lambda
+let mu t = t.mu
+
+let decide t ~alive =
+  if alive < 0 then invalid_arg "Poisson_churn.decide: negative population";
+  let total_rate = (float_of_int alive *. t.mu) +. t.lambda in
+  let dt = Dist.exponential t.rng total_rate in
+  t.time <- t.time +. dt;
+  t.round <- t.round + 1;
+  let p_birth = t.lambda /. total_rate in
+  if alive = 0 || Prng.bernoulli t.rng p_birth then begin
+    t.births <- t.births + 1;
+    (Birth, dt)
+  end
+  else begin
+    t.deaths <- t.deaths + 1;
+    (Death, dt)
+  end
+
+let time t = t.time
+let round t = t.round
+let births t = t.births
+let deaths t = t.deaths

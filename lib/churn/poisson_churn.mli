@@ -1,0 +1,38 @@
+(** The Poisson node-churn process (Definition 4.1) observed through its
+    jump chain (Definition 4.5 / Lemma 4.6).
+
+    With [N] nodes alive, the time to the next event is
+    Exp(N*mu + lambda); the event is a birth with probability
+    lambda / (N*mu + lambda) and otherwise the death of a uniformly random
+    alive node.  Throughout the paper (and here) lambda = 1 and mu = 1/n,
+    so the stationary population is n. *)
+
+type t
+
+type decision =
+  | Birth
+  | Death  (** The victim is a uniformly random alive node, chosen by the caller. *)
+
+val create : ?rng:Churnet_util.Prng.t -> ?lambda:float -> n:int -> unit -> t
+(** [create ~n ()] = churn with arrival rate [lambda] (default 1) and
+    death rate mu = lambda/n, so the stationary population is [n] for any
+    [lambda].  The paper normalizes lambda = 1 "without loss of
+    generality"; the S1 experiment uses other values to verify that the
+    normalization is indeed harmless. *)
+
+val lambda : t -> float
+val mu : t -> float
+
+val decide : t -> alive:int -> decision * float
+(** [decide t ~alive] draws the next jump: its type and the elapsed time
+    dt ~ Exp(alive * mu + lambda).  When [alive = 0] the only possible
+    event is a birth. *)
+
+val time : t -> float
+(** Total continuous time elapsed over all [decide] calls. *)
+
+val round : t -> int
+(** Number of jumps so far (the index r of T_r). *)
+
+val births : t -> int
+val deaths : t -> int

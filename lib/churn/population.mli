@@ -1,0 +1,25 @@
+(** Graph-free simulation of the Poisson churn population, used to validate
+    the paper's churn lemmas cheaply (experiment E12):
+
+    - Lemma 4.4: |N_t| in [0.9 n, 1.1 n] w.h.p. for t >= 3n;
+    - Lemma 4.7: the next jump is a death (resp. birth) with probability in
+      [0.47, 0.53] once r >= n log n;
+    - Lemma 4.8: after r >= 7 n log n jumps, every alive node was born
+      within the last 7 n log n jumps, w.h.p. *)
+
+type stats = {
+  n : int;  (** target population (1/mu) *)
+  rounds : int;  (** jumps simulated after warm-up *)
+  pop_mean : float;
+  pop_min : int;
+  pop_max : int;
+  frac_in_09_11 : float;  (** fraction of observed jumps with |N| in [0.9n, 1.1n] *)
+  death_frac : float;  (** fraction of post-warm-up jumps that were deaths *)
+  max_age_rounds : int;  (** max node age (in jumps) seen at sampled instants *)
+  lifetime_mean : float;  (** mean observed lifetime in continuous time *)
+}
+
+val simulate : ?rng:Churnet_util.Prng.t -> n:int -> rounds:int -> unit -> stats
+(** Warm up until continuous time [4 n] (Lemma 4.4 needs t >= 3n), then
+    run [rounds] further jumps collecting the statistics above.  Ages are
+    sampled every [n/4] jumps. *)

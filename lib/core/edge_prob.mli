@@ -1,0 +1,40 @@
+(** Empirical edge-destination probabilities (Lemma 3.14 for SDGR,
+    Lemma 4.15 for PDGR).
+
+    Both lemmas bound the probability that a fixed request of a node [u]
+    of age k+1 points at a fixed node [v]:
+
+    - if [v] is younger than [u]: at most 1/(n-1) (streaming), 1/(0.8 n)
+      (Poisson);
+    - if [v] is older: (1/(n-1)) (1 + 1/(n-1))^k (streaming, exactly),
+      at most (1/(0.8 n)) (1 + i/(1.7 n)) (Poisson).
+
+    We estimate the per-pair probability by age bucket: for nodes of age
+    in a bucket, the number of their slots pointing at older (younger)
+    nodes, divided by [d * (#older pairs)] (resp. younger), aggregated
+    over many snapshots. *)
+
+type bucket = {
+  age_lo : int;
+  age_hi : int;
+  p_older : float;  (** empirical per-(request, target) probability, older targets *)
+  p_younger : float;  (** same for younger targets *)
+  predicted_older : float;  (** the lemma's value at the bucket midpoint *)
+  bound_younger : float;  (** the lemma's upper bound for younger targets *)
+  samples : int;
+}
+
+val measure_streaming :
+  ?rng:Churnet_util.Prng.t ->
+  n:int -> d:int -> regenerate:bool -> snapshots:int -> buckets:int -> unit ->
+  bucket array
+(** Build a warmed-up streaming model, then take [snapshots] snapshots
+    spaced n/2 rounds apart and aggregate slot-destination statistics into
+    [buckets] age buckets. *)
+
+val measure_poisson :
+  ?rng:Churnet_util.Prng.t ->
+  n:int -> d:int -> regenerate:bool -> snapshots:int -> buckets:int -> unit ->
+  bucket array
+(** Same for the Poisson model; ages are measured in jump-chain rounds and
+    bucketed up to 4 n (older nodes are rare). *)

@@ -1,0 +1,323 @@
+module Dyngraph = Churnet_graph.Dyngraph
+
+type trace = {
+  rounds : int;
+  informed_per_round : int array;
+  population_per_round : int array;
+  completed : bool;
+  completion_round : int option;
+  peak_informed : int;
+  peak_coverage : float;
+  final_informed : int;
+  final_population : int;
+}
+
+let coverage_at tr k =
+  let len = Array.length tr.informed_per_round in
+  if len = 0 then nan
+  else begin
+    let i = min k (len - 1) in
+    float_of_int tr.informed_per_round.(i) /. float_of_int tr.population_per_round.(i)
+  end
+
+(* Shared trace assembly from per-round logs. *)
+let finish ~completed ~completion_round informed_log population_log =
+  let informed_per_round = Array.of_list (List.rev informed_log) in
+  let population_per_round = Array.of_list (List.rev population_log) in
+  let peak_informed = Array.fold_left max 0 informed_per_round in
+  let peak_coverage =
+    let best = ref 0. in
+    Array.iteri
+      (fun i inf ->
+        let pop = population_per_round.(i) in
+        if pop > 0 then best := Float.max !best (float_of_int inf /. float_of_int pop))
+      informed_per_round;
+    !best
+  in
+  let len = Array.length informed_per_round in
+  {
+    rounds = len - 1;
+    informed_per_round;
+    population_per_round;
+    completed;
+    completion_round;
+    peak_informed;
+    peak_coverage;
+    final_informed = (if len = 0 then 0 else informed_per_round.(len - 1));
+    final_population = (if len = 0 then 0 else population_per_round.(len - 1));
+  }
+
+(* Grow the informed set by one synchronous hop on the current graph.
+   Scans whichever side of the cut is smaller: the informed set's
+   neighborhoods, or the uninformed nodes' neighborhoods. *)
+let expand_informed graph informed =
+  let alive = Dyngraph.alive_count graph in
+  let informed_alive = ref 0 in
+  Hashtbl.iter (fun id () -> if Dyngraph.is_alive graph id then incr informed_alive) informed;
+  let newly = ref [] in
+  if !informed_alive <= alive - !informed_alive then
+    Hashtbl.iter
+      (fun u () ->
+        if Dyngraph.is_alive graph u then
+          List.iter
+            (fun v -> if not (Hashtbl.mem informed v) then newly := v :: !newly)
+            (Dyngraph.neighbors graph u))
+      informed
+  else
+    Dyngraph.iter_alive graph (fun v ->
+        if not (Hashtbl.mem informed v) then
+          let touches_informed =
+            List.exists (fun u -> Hashtbl.mem informed u) (Dyngraph.neighbors graph v)
+          in
+          if touches_informed then newly := v :: !newly);
+  List.iter (fun v -> Hashtbl.replace informed v ()) !newly
+
+let prune_dead graph informed =
+  let dead = ref [] in
+  Hashtbl.iter (fun id () -> if not (Dyngraph.is_alive graph id) then dead := id :: !dead) informed;
+  List.iter (Hashtbl.remove informed) !dead
+
+let run_custom ?max_rounds ~graph ~step ~newest ~default_max_rounds () =
+  let max_rounds = Option.value ~default:default_max_rounds max_rounds in
+  (* The source is the node joining the network at round t0. *)
+  step ();
+  let source = newest () in
+  let informed : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace informed source ();
+  let informed_log = ref [ 1 ] in
+  let population_log = ref [ Dyngraph.alive_count graph ] in
+  let completed = ref false in
+  let completion_round = ref None in
+  let r = ref 0 in
+  while (not !completed) && !r < max_rounds do
+    incr r;
+    (* I_t = (I_{t-1} U boundary in G_{t-1}) /\ N_t *)
+    expand_informed graph informed;
+    step ();
+    prune_dead graph informed;
+    let alive = Dyngraph.alive_count graph in
+    let inf = Hashtbl.length informed in
+    informed_log := inf :: !informed_log;
+    population_log := alive :: !population_log;
+    let newborn = newest () in
+    let uninformed = alive - inf in
+    if uninformed = 0 || (uninformed = 1 && not (Hashtbl.mem informed newborn)) then begin
+      completed := true;
+      completion_round := Some !r
+    end
+  done;
+  finish ~completed:!completed ~completion_round:!completion_round !informed_log
+    !population_log
+
+let run_streaming ?max_rounds model =
+  let n = Streaming_model.n model in
+  run_custom ?max_rounds
+    ~graph:(Streaming_model.graph model)
+    ~step:(fun () -> Streaming_model.step model)
+    ~newest:(fun () -> Streaming_model.newest model)
+    ~default_max_rounds:(4 * n) ()
+
+(* A candidate edge recorded at the start of a unit interval: [owner]'s
+   out-slot [slot] pointed at [other]; the uninformed endpoint was
+   [learner].  The message crosses only if the same slot still holds the
+   same target at the end of the interval and both endpoints survived. *)
+type candidate = { owner : int; slot : int; other : int; learner : int }
+
+let run_poisson_discretized ?max_rounds model =
+  let n = Poisson_model.n model in
+  let max_rounds =
+    Option.value
+      ~default:(int_of_float (8. *. log (float_of_int n)) + 60)
+      max_rounds
+  in
+  let graph = Poisson_model.graph model in
+  (* Flood from the next newborn: advance jumps until a birth occurs. *)
+  let rec until_birth () =
+    let before = Dyngraph.alive_count graph in
+    Poisson_model.step model;
+    if Dyngraph.alive_count graph <= before then until_birth ()
+  in
+  until_birth ();
+  let source =
+    match Poisson_model.newest model with Some s -> s | None -> assert false
+  in
+  let informed : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace informed source ();
+  let informed_log = ref [ 1 ] in
+  let population_log = ref [ Dyngraph.alive_count graph ] in
+  let completed = ref false in
+  let completion_round = ref None in
+  let r = ref 0 in
+  while (not !completed) && !r < max_rounds do
+    incr r;
+    (* Record the informed-to-uninformed edges present at time t. *)
+    let candidates = ref [] in
+    Hashtbl.iter
+      (fun u () ->
+        if Dyngraph.is_alive graph u then begin
+          let slots = Dyngraph.out_slots_raw graph u in
+          Array.iteri
+            (fun i w ->
+              if w >= 0 && not (Hashtbl.mem informed w) then
+                candidates := { owner = u; slot = i; other = w; learner = w } :: !candidates)
+            slots;
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem informed v) then begin
+                let vslots = Dyngraph.out_slots_raw graph v in
+                Array.iteri
+                  (fun j target ->
+                    if target = u then
+                      candidates :=
+                        { owner = v; slot = j; other = u; learner = v } :: !candidates)
+                  vslots
+              end)
+            (Dyngraph.in_neighbors graph u)
+        end)
+      informed;
+    (* Advance the churn by one unit of time. *)
+    let birth_round_start = Poisson_model.round model in
+    Poisson_model.run_until_time model (Poisson_model.time model +. 1.0);
+    (* Deliver along candidates whose edge survived the whole interval. *)
+    List.iter
+      (fun c ->
+        if
+          Dyngraph.is_alive graph c.owner
+          && Dyngraph.is_alive graph c.other
+          && (Dyngraph.out_slots_raw graph c.owner).(c.slot) = c.other
+        then Hashtbl.replace informed c.learner ())
+      !candidates;
+    prune_dead graph informed;
+    let alive = Dyngraph.alive_count graph in
+    let inf = Hashtbl.length informed in
+    informed_log := inf :: !informed_log;
+    population_log := alive :: !population_log;
+    (* Completion: everyone alive is informed, except possibly nodes born
+       during the interval just elapsed (Definition 4.3 cannot reach them
+       yet). *)
+    let all_covered = ref true in
+    Dyngraph.iter_alive graph (fun id ->
+        if (not (Hashtbl.mem informed id)) && Dyngraph.birth_of graph id <= birth_round_start
+        then all_covered := false);
+    if !all_covered && inf > 1 then begin
+      completed := true;
+      completion_round := Some !r
+    end;
+    (* Extinction: flooding can die out entirely in PDG. *)
+    if inf = 0 then completed := false
+  done;
+  finish ~completed:!completed ~completion_round:!completion_round !informed_log
+    !population_log
+
+module Async = struct
+  type result = {
+    completed : bool;
+    completion_time : float option;
+    informed_total : int;
+    final_coverage : float;
+    events : int;
+  }
+
+  let run ?max_time model =
+    let n = Poisson_model.n model in
+    let max_time =
+      Option.value ~default:((8. *. log (float_of_int n)) +. 50.) max_time
+    in
+    let graph = Poisson_model.graph model in
+    let rec until_birth () =
+      let before = Dyngraph.alive_count graph in
+      Poisson_model.step model;
+      if Dyngraph.alive_count graph <= before then until_birth ()
+    in
+    until_birth ();
+    let source =
+      match Poisson_model.newest model with Some s -> s | None -> assert false
+    in
+    let t0 = Poisson_model.time model in
+    let deadline = t0 +. max_time in
+    let informed : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+    let deliveries : int Churnet_util.Heap.t = Churnet_util.Heap.create () in
+    let ever_informed = ref 0 in
+    let inform id at =
+      if (not (Hashtbl.mem informed id)) && Dyngraph.is_alive graph id then begin
+        Hashtbl.replace informed id at;
+        incr ever_informed;
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem informed v) then
+              Churnet_util.Heap.push deliveries (at +. 1.) v)
+          (Dyngraph.neighbors graph id)
+      end
+    in
+    (* New edges towards informed nodes trigger a delivery one unit later
+       (Definition 4.2: neighbor at instant t => informed at t + 1). *)
+    Dyngraph.set_edge_hook graph
+      (Some
+         (fun ~src ~dst ->
+           let now = Poisson_model.time model in
+           let src_informed = Hashtbl.mem informed src in
+           let dst_informed = Hashtbl.mem informed dst in
+           if src_informed && not dst_informed then
+             Churnet_util.Heap.push deliveries (now +. 1.) dst
+           else if dst_informed && not src_informed then
+             Churnet_util.Heap.push deliveries (now +. 1.) src));
+    (* Exact O(1) coverage bookkeeping: [informed_alive] counts informed
+       nodes that are still alive; the death hook keeps it current. *)
+    let informed_alive = ref 0 in
+    Dyngraph.set_death_hook graph
+      (Some (fun id -> if Hashtbl.mem informed id then decr informed_alive));
+    let inform id at =
+      if (not (Hashtbl.mem informed id)) && Dyngraph.is_alive graph id then begin
+        inform id at;
+        incr informed_alive
+      end
+    in
+    inform source t0;
+    let events = ref 0 in
+    let completed = ref false in
+    let completion_time = ref None in
+    let stop = ref false in
+    while not !stop do
+      let next_jump = Poisson_model.next_jump_time model in
+      let next_delivery = Churnet_util.Heap.peek deliveries in
+      let now_candidate =
+        match next_delivery with
+        | Some (td, _) when td <= next_jump -> `Delivery td
+        | _ -> `Jump next_jump
+      in
+      (match now_candidate with
+      | `Delivery _ ->
+          (match Churnet_util.Heap.pop deliveries with
+          | Some (td, v) -> inform v td
+          | None -> ())
+      | `Jump tj ->
+          if tj > deadline then stop := true
+          else begin
+            Poisson_model.step model;
+            incr events
+          end);
+      if not !stop then begin
+        if !informed_alive = Dyngraph.alive_count graph && !informed_alive > 0 then begin
+          completed := true;
+          completion_time := Some (Poisson_model.time model -. t0);
+          stop := true
+        end
+        else if !informed_alive = 0 && Churnet_util.Heap.is_empty deliveries then
+          (* Extinction: no informed node alive and nothing pending. *)
+          stop := true
+      end
+    done;
+    Dyngraph.set_edge_hook graph None;
+    Dyngraph.set_death_hook graph None;
+    let alive = Dyngraph.alive_count graph in
+    let informed_alive = ref 0 in
+    Hashtbl.iter (fun id _ -> if Dyngraph.is_alive graph id then incr informed_alive) informed;
+    {
+      completed = !completed;
+      completion_time = !completion_time;
+      informed_total = !ever_informed;
+      final_coverage =
+        (if alive = 0 then nan else float_of_int !informed_alive /. float_of_int alive);
+      events = !events;
+    }
+end

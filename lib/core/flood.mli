@@ -1,0 +1,69 @@
+(** The flooding processes of the paper.
+
+    - {!run_streaming}: the synchronous flooding of Definition 3.3 over a
+      streaming model (SDG / SDGR).  The source is the node joining the
+      network at the starting round, as in the paper.
+    - {!run_poisson_discretized}: the discretized flooding of
+      Definition 4.3 over a Poisson model (PDG / PDGR): informed nodes
+      transmit at integer times, and a message crosses an edge only if
+      that specific edge survived the whole unit interval and the
+      receiver is alive at its end.
+    - {!Async}: the asynchronous flooding of Definition 4.2, event-driven
+      on the real line (a node that is a neighbor of an informed node at
+      any instant t is informed at t + 1 if still alive). *)
+
+type trace = {
+  rounds : int;  (** flooding rounds executed *)
+  informed_per_round : int array;  (** |I_t| after each round, starting with |I_{t0}| = 1 *)
+  population_per_round : int array;
+  completed : bool;  (** I_t covered every node alive long enough to be reachable *)
+  completion_round : int option;
+  peak_informed : int;
+  peak_coverage : float;  (** max over rounds of |I_t| / |N_t| *)
+  final_informed : int;
+  final_population : int;
+}
+
+val coverage_at : trace -> int -> float
+(** [coverage_at tr k] = |I_{t0+k}| / |N_{t0+k}|, or the final coverage if
+    the flood ended earlier. *)
+
+val run_custom :
+  ?max_rounds:int ->
+  graph:Churnet_graph.Dyngraph.t ->
+  step:(unit -> unit) ->
+  newest:(unit -> Churnet_graph.Dyngraph.node_id) ->
+  default_max_rounds:int ->
+  unit ->
+  trace
+(** Synchronous flooding (Definition 3.3 semantics) over any round-based
+    dynamic graph: [step] advances one churn round, [newest] names the
+    node born in the latest round.  Used by {!run_streaming} and by the
+    protocol baselines in [churnet_p2p]. *)
+
+val run_streaming : ?max_rounds:int -> Streaming_model.t -> trace
+(** Inserts the source with the next round's newborn and floods until
+    completion (I_t contains all of N_{t-1} /\ N_t) or [max_rounds]
+    (default [4 * n]).  The model must be warmed up. *)
+
+val run_poisson_discretized : ?max_rounds:int -> Poisson_model.t -> trace
+(** Discretized flooding from the next newborn.  Completion here means
+    every alive node is informed except possibly nodes born during the
+    last unit interval (they have not yet had a full interval of
+    adjacency, so Definition 4.3 cannot have informed them). *)
+
+module Async : sig
+  type result = {
+    completed : bool;
+    completion_time : float option;  (** time since the source was informed *)
+    informed_total : int;  (** distinct nodes ever informed *)
+    final_coverage : float;  (** informed alive / alive at the end *)
+    events : int;  (** churn jumps executed during the flood *)
+  }
+
+  val run : ?max_time:float -> Poisson_model.t -> result
+  (** Event-driven flooding per Definition 4.2 from the next newborn.
+      Stops at full coverage of the alive set, at extinction (no informed
+      node alive and no pending delivery), or after [max_time] time units
+      (default [8 * log n + 50]). *)
+end

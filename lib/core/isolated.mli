@@ -1,0 +1,32 @@
+(** Isolated-node census (Lemma 3.5 for SDG, Lemma 4.10 for PDG).
+
+    Both lemmas assert that, w.h.p., a snapshot contains Omega(n e^{-2d})
+    nodes of degree zero that moreover remain isolated for the rest of
+    their lifetime.  [census_*] counts degree-zero nodes in the current
+    snapshot and then runs the model forward, watching each of them until
+    death, to report how many were isolated {e for good}. *)
+
+type census = {
+  population : int;
+  isolated_now : int;  (** degree-0 nodes in the starting snapshot *)
+  isolated_forever : int;  (** of those, nodes that stayed degree-0 until death *)
+  tracked : int;  (** isolated nodes actually tracked (capped for large counts) *)
+  isolated_frac : float;  (** isolated_now / population *)
+  forever_frac_of_tracked : float;
+}
+
+val paper_bound_sdg : n:int -> d:int -> float
+(** Lemma 3.5's lower bound (1/6) n e^{-2d}. *)
+
+val paper_bound_pdg : n:int -> d:int -> float
+(** Lemma 4.10's lower bound (1/18) n e^{-2d}. *)
+
+val census_streaming : ?max_track:int -> ?watch:bool -> Streaming_model.t -> census
+(** Census on a warmed-up SDG/SDGR model; with [watch] (default true) runs
+    the model [n] extra rounds (every tracked node's full residual
+    lifetime) to decide which isolated nodes stay isolated for good.
+    [watch:false] skips the forward run and reports zero tracked nodes. *)
+
+val census_poisson : ?max_track:int -> ?watch:bool -> Poisson_model.t -> census
+(** Census on a warmed-up PDG/PDGR model; with [watch] runs until every
+    tracked node died (bounded by [20 n ln n] jumps). *)

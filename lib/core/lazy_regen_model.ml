@@ -1,0 +1,136 @@
+module Dyngraph = Churnet_graph.Dyngraph
+module Poisson_churn = Churnet_churn.Poisson_churn
+module Prng = Churnet_util.Prng
+
+type t = {
+  n : int;
+  d : int;
+  period : float;
+  rng : Prng.t;
+  graph : Dyngraph.t;
+  churn : Poisson_churn.t;
+  broken : (int, unit) Hashtbl.t; (* nodes with empty slots awaiting repair *)
+  mutable next_tick : float;
+  mutable time : float;
+  mutable newest : int;
+}
+
+let create ?rng ~n ~d ~period () =
+  if period <= 0. then invalid_arg "Lazy_regen_model.create: period must be positive";
+  let rng = match rng with Some r -> r | None -> Prng.create 0x1A2 in
+  let graph_rng = Prng.split rng in
+  let churn_rng = Prng.split rng in
+  {
+    n;
+    d;
+    period;
+    rng;
+    graph = Dyngraph.create ~rng:graph_rng ~d ~regenerate:false ();
+    churn = Poisson_churn.create ~rng:churn_rng ~n ();
+    broken = Hashtbl.create 256;
+    next_tick = period;
+    time = 0.;
+    newest = -1;
+  }
+
+let n t = t.n
+let d t = t.d
+let period t = t.period
+let graph t = t.graph
+let time t = t.time
+
+let repair t id =
+  if Dyngraph.is_alive t.graph id then begin
+    let missing () = t.d - Dyngraph.out_degree t.graph id in
+    let progress = ref true in
+    while missing () > 0 && !progress do
+      if Dyngraph.alive_count t.graph < 2 then progress := false
+      else begin
+        let rec pick tries =
+          if tries = 0 then None
+          else begin
+            let cand = Dyngraph.random_alive t.graph in
+            if cand <> id then Some cand else pick (tries - 1)
+          end
+        in
+        match pick 8 with
+        | Some cand -> if not (Dyngraph.connect t.graph ~src:id ~dst:cand) then progress := false
+        | None -> progress := false
+      end
+    done
+  end
+
+let maintenance t =
+  let pending = Hashtbl.fold (fun id () acc -> id :: acc) t.broken [] in
+  Hashtbl.reset t.broken;
+  List.iter (repair t) pending
+
+let step t =
+  let alive = Dyngraph.alive_count t.graph in
+  let decision, dt = Poisson_churn.decide t.churn ~alive in
+  t.time <- t.time +. dt;
+  (match decision with
+  | Poisson_churn.Birth ->
+      let id = Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn) in
+      t.newest <- id
+  | Poisson_churn.Death ->
+      let victim = Dyngraph.random_alive t.graph in
+      let orphans = Dyngraph.in_neighbors t.graph victim in
+      Dyngraph.kill t.graph victim;
+      Hashtbl.remove t.broken victim;
+      List.iter
+        (fun u -> if Dyngraph.is_alive t.graph u then Hashtbl.replace t.broken u ())
+        orphans;
+      if victim = t.newest then t.newest <- -1);
+  while t.time >= t.next_tick do
+    maintenance t;
+    t.next_tick <- t.next_tick +. t.period
+  done
+
+let advance_time t span =
+  let deadline = t.time +. span in
+  while t.time < deadline do
+    step t
+  done
+
+let warm_up t =
+  for _ = 1 to 12 * t.n do
+    step t
+  done
+
+let snapshot t = Dyngraph.snapshot t.graph
+
+let newest t =
+  if t.newest >= 0 && Dyngraph.is_alive t.graph t.newest then Some t.newest
+  else begin
+    let best = ref (-1) in
+    Dyngraph.iter_alive t.graph (fun id -> if id > !best then best := id);
+    if !best >= 0 then Some !best else None
+  end
+
+let flood ?max_rounds t =
+  let default = int_of_float (8. *. log (float_of_int t.n)) + 60 in
+  let rec until_birth () =
+    let before = Dyngraph.alive_count t.graph in
+    step t;
+    if Dyngraph.alive_count t.graph <= before then until_birth ()
+  in
+  let first = ref true in
+  Flood.run_custom ?max_rounds ~graph:t.graph
+    ~step:(fun () ->
+      if !first then begin
+        first := false;
+        until_birth ()
+      end
+      else advance_time t 1.0)
+    ~newest:(fun () -> match newest t with Some id -> id | None -> -1)
+    ~default_max_rounds:default ()
+
+let broken_slots t =
+  let acc = ref 0 in
+  Hashtbl.iter
+    (fun id () ->
+      if Dyngraph.is_alive t.graph id then
+        acc := !acc + (t.d - Dyngraph.out_degree t.graph id))
+    t.broken;
+  !acc

@@ -1,0 +1,38 @@
+(** Uniform front-end over the four dynamic-graph models of the paper,
+    used by the experiment harness, the examples and the benches.
+
+    | kind | churn (Def) | edges (Def) | regeneration |
+    |------|-------------|-------------|--------------|
+    | SDG  | streaming 3.2 | 3.4  | no  |
+    | SDGR | streaming 3.2 | 3.13 | yes |
+    | PDG  | Poisson 4.1   | 4.9  | no  |
+    | PDGR | Poisson 4.1   | 4.14 | yes | *)
+
+type kind = SDG | SDGR | PDG | PDGR
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val is_streaming : kind -> bool
+val regenerates : kind -> bool
+
+type t =
+  | Streaming of Streaming_model.t
+  | Poisson of Poisson_model.t
+
+val create : ?rng:Churnet_util.Prng.t -> kind -> n:int -> d:int -> t
+val kind : t -> kind
+val n : t -> int
+val d : t -> int
+val graph : t -> Churnet_graph.Dyngraph.t
+val warm_up : t -> unit
+val snapshot : t -> Churnet_graph.Snapshot.t
+
+val advance : t -> int -> unit
+(** Advance churn: [k] rounds for streaming models, [k] time units for
+    Poisson models (so one unit of [advance] is one expected birth in
+    both time scales, matching the paper's normalization lambda = 1). *)
+
+val flood : ?max_rounds:int -> t -> Flood.trace
+(** Flooding in the model's native semantics: synchronous (Def 3.3) for
+    streaming, discretized (Def 4.3) for Poisson. *)

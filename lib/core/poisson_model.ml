@@ -1,0 +1,86 @@
+module Dyngraph = Churnet_graph.Dyngraph
+module Poisson_churn = Churnet_churn.Poisson_churn
+module Prng = Churnet_util.Prng
+module Dist = Churnet_util.Dist
+
+type t = {
+  n : int;
+  d : int;
+  graph : Dyngraph.t;
+  churn : Poisson_churn.t;
+  rng : Prng.t;
+  (* Time of the next pending jump, drawn lazily; [None] = not drawn.  We
+     pre-draw so [run_until_time] can stop exactly at a deadline without
+     executing the jump that crosses it. *)
+  mutable pending : (Poisson_churn.decision * float) option;
+  mutable time : float;
+  mutable newest : int;
+}
+
+let create ?rng ?lambda ~n ~d ~regenerate () =
+  if n < 2 then invalid_arg "Poisson_model.create: n must be >= 2";
+  let rng = match rng with Some r -> r | None -> Prng.create 0xD1CE in
+  let graph_rng = Prng.split rng in
+  let churn_rng = Prng.split rng in
+  let graph = Dyngraph.create ~rng:graph_rng ~d ~regenerate () in
+  let churn = Poisson_churn.create ~rng:churn_rng ?lambda ~n () in
+  { n; d; graph; churn; rng; pending = None; time = 0.; newest = -1 }
+
+let n t = t.n
+let d t = t.d
+let regenerates t = Dyngraph.regenerate t.graph
+let graph t = t.graph
+let round t = Poisson_churn.round t.churn
+let time t = t.time
+let population t = Dyngraph.alive_count t.graph
+
+let draw_pending t =
+  match t.pending with
+  | Some p -> p
+  | None ->
+      let p = Poisson_churn.decide t.churn ~alive:(Dyngraph.alive_count t.graph) in
+      t.pending <- Some p;
+      p
+
+let execute t (decision, dt) =
+  t.pending <- None;
+  t.time <- t.time +. dt;
+  match decision with
+  | Poisson_churn.Birth ->
+      let id = Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn) in
+      t.newest <- id
+  | Poisson_churn.Death ->
+      let victim = Dyngraph.random_alive t.graph in
+      Dyngraph.kill t.graph victim;
+      if victim = t.newest then t.newest <- -1
+
+let step t = execute t (draw_pending t)
+
+let next_jump_time t =
+  let _, dt = draw_pending t in
+  t.time +. dt
+
+let run_rounds t k =
+  for _ = 1 to k do
+    step t
+  done
+
+let run_until_time t deadline =
+  let continue = ref true in
+  while !continue do
+    let ((_, dt) as pending) = draw_pending t in
+    if t.time +. dt > deadline then continue := false else execute t pending
+  done
+
+let warm_up t = run_rounds t (12 * t.n)
+
+let newest t =
+  if t.newest >= 0 && Dyngraph.is_alive t.graph t.newest then Some t.newest
+  else begin
+    (* The most recent newborn died; fall back to the youngest alive. *)
+    let best = ref (-1) in
+    Dyngraph.iter_alive t.graph (fun id -> if id > !best then best := id);
+    if !best >= 0 then Some !best else None
+  end
+
+let snapshot t = Dyngraph.snapshot t.graph

@@ -1,0 +1,26 @@
+module Prng = Churnet_util.Prng
+module Snapshot = Churnet_graph.Snapshot
+
+let generate ?rng ~n ~d () =
+  if n < 2 then invalid_arg "Static_dout.generate: n < 2";
+  let rng = match rng with Some r -> r | None -> Prng.create 0x57A7 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for _ = 1 to d do
+      let rec pick () =
+        let v = Prng.int rng n in
+        if v = u then pick () else v
+      in
+      edges := (u, pick ()) :: !edges
+    done
+  done;
+  Snapshot.of_edges ~n !edges
+
+let flooding_rounds ?rng ~n ~d () =
+  let snap = generate ?rng ~n ~d () in
+  let dist = Snapshot.bfs snap 0 in
+  let ecc = ref 0 and full = ref true in
+  Array.iter
+    (fun dv -> if dv < 0 then full := false else if dv > !ecc then ecc := dv)
+    dist;
+  if !full then Some !ecc else None

@@ -1,0 +1,14 @@
+(** The static baseline of Lemma B.1: a fixed random graph on n nodes in
+    which every node picks d out-neighbors uniformly at random.  The lemma
+    states it is a Theta(1)-expander w.h.p. for every d >= 3; the benches
+    use it as the churn-free control for both expansion and flooding. *)
+
+val generate :
+  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> Churnet_graph.Snapshot.t
+(** Sample one static d-out random graph. *)
+
+val flooding_rounds :
+  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> int option
+(** BFS eccentricity of a random source = rounds synchronous flooding
+    needs on a static snapshot; [None] if the source's component does not
+    cover the graph. *)

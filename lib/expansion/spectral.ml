@@ -1,0 +1,149 @@
+module Snapshot = Churnet_graph.Snapshot
+
+type report = {
+  lambda2 : float;
+  spectral_gap : float;
+  cheeger_lower : float;
+  sweep_conductance : float;
+  sweep_set_size : int;
+  component_size : int;
+}
+
+(* Extract the largest component as (members, local adjacency). *)
+let largest_component_graph snap =
+  let label, k = Snapshot.components snap in
+  if k = 0 then ([||], [||])
+  else begin
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) label;
+    let best = ref 0 in
+    Array.iteri (fun c s -> if s > sizes.(!best) then best := c) sizes;
+    let members =
+      Array.of_list
+        (List.filter (fun v -> label.(v) = !best)
+           (List.init (Snapshot.n snap) Fun.id))
+    in
+    let local_of = Hashtbl.create (Array.length members) in
+    Array.iteri (fun i v -> Hashtbl.replace local_of v i) members;
+    let adj =
+      Array.map
+        (fun v ->
+          Array.map (fun w -> Hashtbl.find local_of w) (Snapshot.neighbors snap v))
+        members
+    in
+    (members, adj)
+  end
+
+(* Second eigenvector of the lazy walk W = (I + D^-1 A)/2 by power
+   iteration with deflation against the stationary distribution (which is
+   degree-proportional for a reversible chain). *)
+let second_eigen adj iters =
+  let m = Array.length adj in
+  if m < 2 then (1., [||])
+  else begin
+    let deg = Array.map (fun a -> float_of_int (max 1 (Array.length a))) adj in
+    let total_deg = Array.fold_left ( +. ) 0. deg in
+    let x = Array.init m (fun i -> Float.sin (float_of_int ((i * 7919) mod 104729))) in
+    let deflate v =
+      (* Remove the component along the constant (right) eigenvector in
+         the degree-weighted inner product. *)
+      let proj = ref 0. in
+      Array.iteri (fun i vi -> proj := !proj +. (deg.(i) *. vi)) v;
+      let c = !proj /. total_deg in
+      Array.iteri (fun i vi -> v.(i) <- vi -. c) v
+    in
+    let normalize v =
+      let norm = sqrt (Array.fold_left (fun acc vi -> acc +. (vi *. vi)) 0. v) in
+      if norm > 0. then Array.iteri (fun i vi -> v.(i) <- vi /. norm) v
+    in
+    deflate x;
+    normalize x;
+    let y = Array.make m 0. in
+    let lambda = ref 1. in
+    for _ = 1 to iters do
+      for i = 0 to m - 1 do
+        let acc = ref 0. in
+        Array.iter (fun j -> acc := !acc +. x.(j)) adj.(i);
+        y.(i) <- 0.5 *. (x.(i) +. (!acc /. deg.(i)))
+      done;
+      (* Rayleigh quotient in the degree-weighted inner product. *)
+      let num = ref 0. and den = ref 0. in
+      for i = 0 to m - 1 do
+        num := !num +. (deg.(i) *. y.(i) *. x.(i));
+        den := !den +. (deg.(i) *. x.(i) *. x.(i))
+      done;
+      if !den > 0. then lambda := !num /. !den;
+      Array.blit y 0 x 0 m;
+      deflate x;
+      normalize x
+    done;
+    (!lambda, x)
+  end
+
+let conductance_of_sweep adj order =
+  let m = Array.length adj in
+  let deg = Array.map Array.length adj in
+  let total_vol = Array.fold_left ( + ) 0 deg in
+  let in_set = Array.make m false in
+  let vol = ref 0 and cut = ref 0 in
+  let best = ref infinity and best_size = ref 0 in
+  Array.iteri
+    (fun idx v ->
+      in_set.(v) <- true;
+      vol := !vol + deg.(v);
+      Array.iter (fun w -> if in_set.(w) then cut := !cut - 1 else cut := !cut + 1) adj.(v);
+      if idx < m - 1 then begin
+        let denom = min !vol (total_vol - !vol) in
+        if denom > 0 then begin
+          let phi = float_of_int !cut /. float_of_int denom in
+          if phi < !best then begin
+            best := phi;
+            best_size := idx + 1
+          end
+        end
+      end)
+    order;
+  (!best, !best_size)
+
+let sorted_order vec =
+  let order = Array.init (Array.length vec) Fun.id in
+  Array.sort (fun a b -> compare vec.(a) vec.(b)) order;
+  order
+
+let analyze ?(iters = 300) snap =
+  let members, adj = largest_component_graph snap in
+  let m = Array.length members in
+  if m < 2 then
+    { lambda2 = 1.; spectral_gap = 0.; cheeger_lower = 0.; sweep_conductance = nan;
+      sweep_set_size = 0; component_size = m }
+  else begin
+    let lambda2, vec = second_eigen adj iters in
+    let order = sorted_order vec in
+    let sweep_conductance, sweep_set_size = conductance_of_sweep adj order in
+    {
+      lambda2;
+      spectral_gap = 1. -. lambda2;
+      cheeger_lower = (1. -. lambda2) /. 2.;
+      sweep_conductance;
+      sweep_set_size;
+      component_size = m;
+    }
+  end
+
+let sweep_sets snap =
+  let members, adj = largest_component_graph snap in
+  let m = Array.length members in
+  if m < 4 then []
+  else begin
+    let _, vec = second_eigen adj 150 in
+    let order = sorted_order vec in
+    (* Prefixes at geometric sizes up to half the component. *)
+    let sets = ref [] in
+    let size = ref 2 in
+    while !size <= m / 2 do
+      let prefix = Array.sub order 0 !size in
+      sets := Array.map (fun local -> members.(local)) prefix :: !sets;
+      size := max (!size + 1) (!size * 3 / 2)
+    done;
+    List.rev !sets
+  end

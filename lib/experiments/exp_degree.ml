@@ -1,0 +1,81 @@
+(* F4: degree structure of the regenerating models — max degree Theta(log n)
+   (Section 5's closing remark) and the degree distribution. *)
+
+open Churnet_core
+module Prng = Churnet_util.Prng
+module Table = Churnet_util.Table
+module Stats = Churnet_util.Stats
+module Snapshot = Churnet_graph.Snapshot
+
+let f4 ~seed ~scale =
+  let ns =
+    Scale.pick scale ~smoke:[ 250; 500 ] ~standard:[ 500; 1000; 2000; 4000; 8000 ]
+      ~full:[ 1000; 2000; 4000; 8000; 16000; 32000 ]
+  in
+  let d = 8 in
+  let rng = Prng.create seed in
+  let table =
+    Table.create [ "n"; "SDGR max deg"; "SDGR mean deg"; "PDGR max deg"; "PDGR mean deg" ]
+  in
+  let sdgr_pts = ref [] and pdgr_pts = ref [] in
+  List.iter
+    (fun n ->
+      let snap kind =
+        let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
+        Models.warm_up m;
+        Models.snapshot m
+      in
+      let s1 = snap Models.SDGR and s2 = snap Models.PDGR in
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int (Snapshot.max_degree s1);
+          Table.fmt_float ~digits:2 (Snapshot.mean_degree s1);
+          string_of_int (Snapshot.max_degree s2);
+          Table.fmt_float ~digits:2 (Snapshot.mean_degree s2);
+        ];
+      sdgr_pts := (float_of_int n, float_of_int (Snapshot.max_degree s1)) :: !sdgr_pts;
+      pdgr_pts := (float_of_int n, float_of_int (Snapshot.max_degree s2)) :: !pdgr_pts)
+    ns;
+  let arr l = Array.of_list (List.rev l) in
+  let fig =
+    Churnet_util.Asciiplot.plot ~logx:true ~title:"F4: max degree vs n (d = 8)"
+      ~xlabel:"n" ~ylabel:"max degree"
+      [
+        { label = "SDGR"; points = arr !sdgr_pts };
+        { label = "PDGR"; points = arr !pdgr_pts };
+      ]
+  in
+  (* Degree histogram at the largest n. *)
+  let n = List.nth ns (List.length ns - 1) in
+  let m = Models.create ~rng:(Prng.split rng) Models.SDGR ~n ~d in
+  Models.warm_up m;
+  let s = Models.snapshot m in
+  let hist = Snapshot.degree_histogram s in
+  let hist_table = Table.create [ "degree"; "count" ] in
+  Array.iteri
+    (fun deg count ->
+      if count > 0 then Table.add_row hist_table [ string_of_int deg; string_of_int count ])
+    hist;
+  let fit = Stats.log_fit (arr !sdgr_pts) in
+  let largest = snd (List.hd !sdgr_pts) in
+  Report.make ~id:"F4" ~title:"Degree structure of the regenerating models"
+    ~tables:[ table; hist_table ] ~figures:[ fig ]
+    [
+      (let log_budget = (6. *. log (float_of_int n)) +. float_of_int d in
+       Report.check ~claim:"max degree is Theta(log n) (Section 5 remark)"
+         ~expected:
+           (Printf.sprintf
+              "max degree at n = %d between d and 6 ln n + d = %.0f (and below sqrt n)" n
+              log_budget)
+         ~measured:
+           (Printf.sprintf "max deg %.0f at n = %d; fit %.2f ln n + %.2f" largest n
+              fit.slope fit.intercept)
+         ~holds:(largest <= log_budget && largest >= float_of_int d));
+      Report.check ~claim:"SDGR keeps exactly dn edges (mean degree ~ 2d as a multigraph)"
+        ~expected:(Printf.sprintf "mean distinct-neighbor degree slightly below %d" (2 * d))
+        ~measured:(Table.fmt_float ~digits:2 (Snapshot.mean_degree s))
+        ~holds:
+          (Snapshot.mean_degree s > 0.8 *. float_of_int (2 * d)
+          && Snapshot.mean_degree s <= float_of_int (2 * d) +. 0.5);
+    ]

@@ -1,0 +1,107 @@
+(* F14: the quantitative in-degree law of the models without edge
+   regeneration.  In SDG, a node of age a has been a potential target of
+   exactly a*d later requests, each hitting it with probability 1/(n-1),
+   so its in-degree is Binomial(a d, 1/(n-1)) ~ Poisson(d a / n).  The
+   same law holds in expectation for PDG with a measured in rounds/2
+   (one birth every other jump).  This is the mechanism behind
+   Lemma 3.5's e^{-2d}: an age-n node is isolated iff its Poisson(d)
+   in-degree is 0 AND its d out-edges all died. *)
+
+open Churnet_core
+module Dyngraph = Churnet_graph.Dyngraph
+module Prng = Churnet_util.Prng
+module Table = Churnet_util.Table
+module Stats = Churnet_util.Stats
+module Kl = Churnet_util.Kl
+module Dist = Churnet_util.Dist
+
+let f14 ~seed ~scale =
+  let n = Scale.pick scale ~smoke:600 ~standard:3000 ~full:10000 in
+  let d = 5 in
+  let snapshots = Scale.pick scale ~smoke:5 ~standard:20 ~full:60 in
+  let rng = Prng.create seed in
+  let m = Streaming_model.create ~rng:(Prng.split rng) ~n ~d ~regenerate:false () in
+  Streaming_model.warm_up m;
+  (* Mean in-degree per age decile, against d * a / n. *)
+  let buckets = 10 in
+  let indeg_acc = Array.init buckets (fun _ -> Stats.Acc.create ()) in
+  (* Distribution of in-degrees in the oldest decile, against Poisson. *)
+  let max_k = 4 * d in
+  let old_hist = Array.make (max_k + 1) 0 in
+  for _ = 1 to snapshots do
+    let g = Streaming_model.graph m in
+    Dyngraph.iter_alive g (fun id ->
+        let age = Streaming_model.age_of m id in
+        let b = min (buckets - 1) (age * buckets / n) in
+        let indeg = Dyngraph.in_degree g id in
+        Stats.Acc.add_int indeg_acc.(b) indeg;
+        if b = buckets - 1 then old_hist.(min max_k indeg) <- old_hist.(min max_k indeg) + 1);
+    Streaming_model.run m (n / 2)
+  done;
+  let table = Table.create [ "age bucket"; "mean in-degree"; "predicted d*a/n" ] in
+  let worst_ratio = ref 1. in
+  Array.iteri
+    (fun b acc ->
+      let mid_age = (float_of_int b +. 0.5) /. float_of_int buckets in
+      let predicted = float_of_int d *. mid_age in
+      let measured = Stats.Acc.mean acc in
+      if predicted > 0.3 then begin
+        let r = measured /. predicted in
+        if Float.abs (log r) > Float.abs (log !worst_ratio) then worst_ratio := r
+      end;
+      Table.add_row table
+        [
+          Printf.sprintf "[%.1f n, %.1f n)"
+            (float_of_int b /. float_of_int buckets)
+            (float_of_int (b + 1) /. float_of_int buckets);
+          Table.fmt_float ~digits:3 measured;
+          Table.fmt_float ~digits:3 predicted;
+        ])
+    indeg_acc;
+  (* Distribution check in the oldest decile: age ~ 0.95 n so the law is
+     Poisson(0.95 d). *)
+  let lambda = 0.95 *. float_of_int d in
+  let model = Array.init (max_k + 1) (fun k -> Dist.poisson_pmf lambda k) in
+  let model = Kl.normalize model in
+  let empirical = Kl.of_counts old_hist in
+  let kl = Kl.kl_divergence empirical model in
+  let tv = Kl.total_variation empirical model in
+  let dist_table = Table.create [ "in-degree k"; "empirical"; "Poisson(0.95 d)" ] in
+  Array.iteri
+    (fun k p ->
+      if k <= 2 * d then
+        Table.add_row dist_table
+          [ string_of_int k; Table.fmt_float p; Table.fmt_float model.(k) ])
+    empirical;
+  Report.make ~id:"F14"
+    ~title:"In-degree law of SDG: age-a nodes have Poisson(d a / n) in-degree"
+    ~tables:[ table; dist_table ]
+    [
+      Report.check ~claim:"mean in-degree grows linearly with age, slope d/n"
+        ~expected:"measured/predicted within [0.8, 1.25] in every populated bucket"
+        ~measured:(Printf.sprintf "worst ratio %.3f" !worst_ratio)
+        ~holds:(!worst_ratio > 0.8 && !worst_ratio < 1.25);
+      (let samples = Array.fold_left ( + ) 0 old_hist in
+       let bins =
+         Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 old_hist
+       in
+       (* Sampling noise alone produces TV ~ sqrt(bins / N); allow that
+          plus a small systematic margin. *)
+       let tolerance =
+         0.05 +. (1.2 *. sqrt (float_of_int (max 1 bins) /. float_of_int (max 1 samples)))
+       in
+       Report.check
+         ~claim:"old nodes' in-degree distribution is Poisson (the engine of Lemma 3.5)"
+         ~expected:(Printf.sprintf "TV below %.3f (%d samples)" tolerance samples)
+         ~measured:(Printf.sprintf "KL %.4f, TV %.4f" kl tv)
+         ~holds:(tv < tolerance));
+      (let p0_measured = empirical.(0) in
+       let p0_theory = exp (-.lambda) in
+       Report.check
+         ~claim:"P(in-degree 0) ~ e^{-0.95 d} for the oldest nodes (the isolated-node rate)"
+         ~expected:(Printf.sprintf "about %.4f" p0_theory)
+         ~measured:(Table.fmt_float p0_measured)
+         ~holds:
+           (p0_measured < 4. *. p0_theory +. 0.01
+           && p0_measured > p0_theory /. 4. -. 0.01));
+    ]

@@ -1,0 +1,74 @@
+(* F8: edge destination probabilities (Lemmas 3.14 and 4.15). *)
+
+open Churnet_core
+module Table = Churnet_util.Table
+
+let f8 ~seed ~scale =
+  let n = Scale.pick scale ~smoke:300 ~standard:800 ~full:2000 in
+  let snapshots = Scale.pick scale ~smoke:8 ~standard:30 ~full:80 in
+  let buckets = 4 in
+  let sdgr =
+    Edge_prob.measure_streaming ~rng:(Churnet_util.Prng.create seed) ~n ~d:6
+      ~regenerate:true ~snapshots ~buckets ()
+  in
+  let pdgr =
+    Edge_prob.measure_poisson ~rng:(Churnet_util.Prng.create (seed + 1)) ~n ~d:6
+      ~regenerate:true ~snapshots:(max 3 (snapshots / 4)) ~buckets ()
+  in
+  let table_of name (bs : Edge_prob.bucket array) =
+    let t =
+      Table.create
+        [ name ^ " ages"; "p_older measured"; "p_older predicted"; "p_younger"; "bound"; "samples" ]
+    in
+    Array.iter
+      (fun (b : Edge_prob.bucket) ->
+        Table.add_row t
+          [
+            Printf.sprintf "[%d, %d]" b.age_lo b.age_hi;
+            Table.fmt_sci b.p_older;
+            Table.fmt_sci b.predicted_older;
+            Table.fmt_sci b.p_younger;
+            Table.fmt_sci b.bound_younger;
+            string_of_int b.samples;
+          ])
+      bs;
+    t
+  in
+  let populated =
+    Array.to_list sdgr |> List.filter (fun (b : Edge_prob.bucket) -> b.samples > 300)
+  in
+  let ratios =
+    List.map (fun (b : Edge_prob.bucket) -> b.p_older /. b.predicted_older) populated
+  in
+  let within_band = List.for_all (fun r -> r > 0.6 && r < 1.4) ratios in
+  let monotone =
+    match populated with
+    | first :: _ :: _ ->
+        let last = List.nth populated (List.length populated - 1) in
+        last.p_older >= first.p_older
+    | _ -> false
+  in
+  let younger_ok =
+    List.for_all
+      (fun (b : Edge_prob.bucket) ->
+        Float.is_nan b.p_younger || b.p_younger <= b.bound_younger *. 1.25)
+      populated
+  in
+  Report.make ~id:"F8" ~title:"Edge-destination probabilities (Lemmas 3.14 / 4.15)"
+    ~tables:[ table_of "SDGR" sdgr; table_of "PDGR" pdgr ]
+    [
+      Report.check
+        ~claim:"SDGR: a request of an age-(k+1) node targets a fixed older node with prob (1/(n-1))(1+1/(n-1))^k"
+        ~expected:"measured/predicted within [0.6, 1.4] in every populated bucket"
+        ~measured:
+          (String.concat ", " (List.map (fun r -> Printf.sprintf "%.2f" r) ratios))
+        ~holds:within_band;
+      Report.check ~claim:"the older-target probability grows with the chooser's age"
+        ~expected:"p_older monotone over age buckets"
+        ~measured:(if monotone then "monotone" else "not monotone")
+        ~holds:monotone;
+      Report.check ~claim:"younger targets are hit with probability <= 1/(n-1)"
+        ~expected:"measured p_younger below the bound"
+        ~measured:(if younger_ok then "all buckets below bound" else "bound violated")
+        ~holds:younger_ok;
+    ]

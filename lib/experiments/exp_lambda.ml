@@ -1,0 +1,98 @@
+(* S1: the paper's "we choose time units such that lambda = 1" (Section
+   1.1) — is the normalization really without loss of generality?
+
+   With arrival rate lambda and death rate lambda/n, the *graph process*
+   is a time-rescaled copy of the lambda = 1 process, but flooding still
+   takes one unit of time per hop, so lambda is the number of churn
+   events per message delay.  Structural observables (expansion,
+   isolated fraction) must be lambda-invariant; flooding rounds should
+   stay O(log n) as long as lambda stays far below n (the per-hop churn
+   is o(n)). *)
+
+open Churnet_core
+module Prng = Churnet_util.Prng
+module Table = Churnet_util.Table
+module Stats = Churnet_util.Stats
+module Probe = Churnet_expansion.Probe
+module Snapshot = Churnet_graph.Snapshot
+
+let s1 ~seed ~scale =
+  let n = Scale.pick scale ~smoke:300 ~standard:1500 ~full:5000 in
+  let trials = Scale.pick scale ~smoke:2 ~standard:4 ~full:10 in
+  let d = 10 in
+  let rng = Prng.create seed in
+  let lambdas = [ 0.25; 1.0; 4.0; 16.0 ] in
+  let table =
+    Table.create
+      [ "lambda"; "population"; "isolated frac (PDG)"; "min expansion (PDGR)";
+        "PDGR flood rounds"; "PDGR coverage" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun lambda ->
+      (* Structural observables on PDG (no regeneration). *)
+      let pdg = Poisson_model.create ~rng:(Prng.split rng) ~lambda ~n ~d:2 ~regenerate:false () in
+      Poisson_model.warm_up pdg;
+      let snap = Poisson_model.snapshot pdg in
+      let iso =
+        float_of_int (List.length (Snapshot.isolated snap)) /. float_of_int (Snapshot.n snap)
+      in
+      (* Expansion on PDGR. *)
+      let pdgr = Poisson_model.create ~rng:(Prng.split rng) ~lambda ~n ~d ~regenerate:true () in
+      Poisson_model.warm_up pdgr;
+      let probe = Probe.probe ~rng:(Prng.split rng) (Poisson_model.snapshot pdgr) in
+      let pop = Poisson_model.population pdgr in
+      (* Flooding: rounds in message-delay units. *)
+      let rounds_acc = Stats.Acc.create () and cov_acc = Stats.Acc.create () in
+      for _ = 1 to trials do
+        let m = Poisson_model.create ~rng:(Prng.split rng) ~lambda ~n ~d ~regenerate:true () in
+        Poisson_model.warm_up m;
+        let tr =
+          Flood.run_poisson_discretized
+            ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40) m
+        in
+        (match tr.completion_round with
+        | Some r -> Stats.Acc.add_int rounds_acc r
+        | None -> ());
+        Stats.Acc.add cov_acc tr.peak_coverage
+      done;
+      Table.add_row table
+        [
+          Table.fmt_float ~digits:2 lambda;
+          string_of_int pop;
+          Table.fmt_pct iso;
+          Table.fmt_float ~digits:3 probe.min_expansion;
+          Table.fmt_float ~digits:1 (Stats.Acc.mean rounds_acc);
+          Table.fmt_pct (Stats.Acc.mean cov_acc);
+        ];
+      rows := (lambda, (iso, probe.min_expansion, Stats.Acc.mean cov_acc)) :: !rows)
+    lambdas;
+  let iso_of l = let i, _, _ = List.assoc l !rows in i in
+  let exp_of l = let _, e, _ = List.assoc l !rows in e in
+  let cov_of l = let _, _, c = List.assoc l !rows in c in
+  Report.make ~id:"S1"
+    ~title:"The lambda = 1 normalization is harmless (Section 1.1)"
+    ~tables:[ table ]
+    [
+      Report.check
+        ~claim:"structural observables are lambda-invariant (pure time rescaling)"
+        ~expected:"isolated fraction within a factor 1.6 across lambda in [0.25, 16]"
+        ~measured:
+          (Printf.sprintf "iso: %.2f%% / %.2f%% / %.2f%%" (100. *. iso_of 0.25)
+             (100. *. iso_of 1.0) (100. *. iso_of 16.0))
+        ~holds:
+          (let lo = Float.min (iso_of 0.25) (Float.min (iso_of 1.0) (iso_of 16.0)) in
+           let hi = Float.max (iso_of 0.25) (Float.max (iso_of 1.0) (iso_of 16.0)) in
+           lo > 0. && hi /. lo < 1.6);
+      Report.check ~claim:"PDGR stays an expander at every lambda"
+        ~expected:"min candidate expansion >= 0.1 throughout"
+        ~measured:
+          (Printf.sprintf "%.3f / %.3f / %.3f / %.3f" (exp_of 0.25) (exp_of 1.0)
+             (exp_of 4.0) (exp_of 16.0))
+        ~holds:(List.for_all (fun l -> exp_of l >= 0.1) lambdas);
+      Report.check
+        ~claim:"flooding still covers the network even with 16 churn events per hop"
+        ~expected:"coverage > 90% at lambda = 16"
+        ~measured:(Table.fmt_pct (cov_of 16.0))
+        ~holds:(cov_of 16.0 > 0.9);
+    ]

@@ -1,0 +1,85 @@
+(* T1: numeric verification of the paper's "by standard calculus" steps —
+   no simulation, just exact evaluation of the formulas the proofs rely
+   on.  Each check fails if the asserted inequality is violated at the
+   probed parameter values. *)
+
+open Churnet_core
+module Table = Churnet_util.Table
+
+let t1 ~seed:_ ~scale =
+  let n = Scale.pick scale ~smoke:1000 ~standard:10000 ~full:100000 in
+  (* --- Claim 3.11: infinite product vs 1 - 4 e^{-d/100}. --- *)
+  let product_table = Table.create [ "d"; "product c"; "bound 1-4e^{-d/100}"; "holds" ] in
+  let product_ok = ref true in
+  List.iter
+    (fun d ->
+      let c = Bounds.claim_3_11_product ~d in
+      let bound = Bounds.onion_success_lower ~d in
+      let ok = c >= bound in
+      if d >= 200 && not ok then product_ok := false;
+      Table.add_row product_table
+        [ string_of_int d; Table.fmt_float c; Table.fmt_float bound; string_of_bool ok ])
+    [ 200; 300; 500; 1000 ];
+  (* --- Lemma B.1's union bound vs n^{-(d-2)}. --- *)
+  let static_table = Table.create [ "d"; "union bound"; "n^{-(d-2)}"; "holds" ] in
+  let static_ok = ref true in
+  List.iter
+    (fun d ->
+      let v = Bounds.union_bound_static ~n ~d in
+      let target = float_of_int n ** float_of_int (-(d - 2)) in
+      let ok = v <= target in
+      if d >= 3 && not ok then static_ok := false;
+      Table.add_row static_table
+        [ string_of_int d; Table.fmt_sci v; Table.fmt_sci target; string_of_bool ok ])
+    [ 3; 4; 6 ];
+  let static_d2 = Bounds.union_bound_static ~n ~d:2 in
+  (* --- Lemma 6.4 (SDGR small sets) vs 1/n^4. --- *)
+  let sdgr_small = Bounds.union_bound_sdgr_small ~n ~d:21 in
+  let n4 = float_of_int n ** -4. in
+  (* --- Lemma 3.6 (SDG large sets) vs 1/n^4. --- *)
+  let sdg_large = Bounds.union_bound_sdg_large ~n ~d:20 in
+  (* --- Section 4.3.1: q_m total mass <= 1 at the worst case k = n/14. --- *)
+  let qm_table = Table.create [ "k"; "d"; "sum q_m"; "<= 1" ] in
+  let qm_ok = ref true in
+  List.iter
+    (fun (k, d) ->
+      let mass = Bounds.qm_total_mass ~n ~k ~d in
+      let ok = mass <= 1. in
+      if d >= 30 && not ok then qm_ok := false;
+      Table.add_row qm_table
+        [ string_of_int k; string_of_int d; Table.fmt_float mass; string_of_bool ok ])
+    [ (n / 14, 30); (n / 14, 35); (n / 20, 30); (max 2 (n / 100), 30) ];
+  Report.make ~id:"T1"
+    ~title:"Numeric verification of the paper's calculus claims"
+    ~tables:[ product_table; static_table; qm_table ]
+    [
+      Report.check
+        ~claim:"Claim 3.11: prod (1 - e^{-(d/20)^i d/100}) >= 1 - 4e^{-d/100} for d >= 200"
+        ~expected:"the product dominates the closed-form bound"
+        ~measured:
+          (Printf.sprintf "d=200: product %.4f vs bound %.4f"
+             (Bounds.claim_3_11_product ~d:200)
+             (Bounds.onion_success_lower ~d:200))
+        ~holds:!product_ok;
+      Report.check
+        ~claim:"Lemma B.1: the static union bound is <= n^{-(d-2)} for d >= 3 (and diverges at d = 2)"
+        ~expected:"tiny for d >= 3, huge for d = 2"
+        ~measured:
+          (Printf.sprintf "d=3: %.2e, d=2: %.2e" (Bounds.union_bound_static ~n ~d:3)
+             static_d2)
+        ~holds:(!static_ok && static_d2 > 1.);
+      Report.check ~claim:"Lemma 6.4: the SDGR small-set union bound is <= 1/n^4 at d = 21"
+        ~expected:(Printf.sprintf "<= %.2e" n4)
+        ~measured:(Printf.sprintf "%.2e" sdgr_small)
+        ~holds:(sdgr_small <= n4);
+      Report.check ~claim:"Lemma 3.6: the SDG large-set union bound is <= 1/n^4 at d = 20"
+        ~expected:(Printf.sprintf "<= %.2e" n4)
+        ~measured:(Printf.sprintf "%.2e" sdg_large)
+        ~holds:(sdg_large <= n4);
+      Report.check
+        ~claim:"Section 4.3.1: the q_m comparison distribution has total mass <= 1 (d >= 30, k <= n/14)"
+        ~expected:"sum q_m <= 1 so the KL inequality applies"
+        ~measured:
+          (Printf.sprintf "worst case k = n/14: %.4f" (Bounds.qm_total_mass ~n ~k:(n / 14) ~d:30))
+        ~holds:!qm_ok;
+    ]

@@ -1,0 +1,28 @@
+(** The experiment registry: one entry per Table 1 cell (E1-E12), per
+    derived figure (F1-F11), per extension/ablation study (X1-X3, A1),
+    and the numeric theory checks (T1).  See DESIGN.md for the full
+    index. *)
+
+type entry = {
+  id : string;
+  title : string;
+  group : string;  (** "table1", "figures", "extensions" or "theory" *)
+  run : seed:int -> scale:Scale.t -> Report.t;
+}
+
+val all : entry list
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val table1 : entry list
+val figures : entry list
+val extensions : entry list
+val theory : entry list
+
+val run_all :
+  ?ids:string list -> seed:int -> scale:Scale.t -> unit -> Report.t list
+(** Run the selected experiments (default: all) and return their reports
+    in registry order. *)
+
+val summary : Report.t list -> Churnet_util.Table.t
+(** Build the final roll-up table of check outcomes. *)

@@ -1,0 +1,44 @@
+type check = { claim : string; expected : string; measured : string; holds : bool }
+
+type t = {
+  id : string;
+  title : string;
+  checks : check list;
+  tables : Churnet_util.Table.t list;
+  figures : string list;
+}
+
+let check ~claim ~expected ~measured ~holds = { claim; expected; measured; holds }
+
+let make ~id ~title ?(tables = []) ?(figures = []) checks =
+  { id; title; checks; tables; figures }
+
+let all_hold t = List.for_all (fun c -> c.holds) t.checks
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "\n================ %s — %s ================\n" t.id t.title);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] %s\n       paper:    %s\n       measured: %s\n"
+           (if c.holds then "PASS" else "FAIL")
+           c.claim c.expected c.measured))
+    t.checks;
+  List.iter
+    (fun table ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Churnet_util.Table.render table))
+    t.tables;
+  List.iter
+    (fun fig ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf fig)
+    t.figures;
+  Buffer.contents buf
+
+let summary_row t =
+  let total = List.length t.checks in
+  let ok = List.length (List.filter (fun c -> c.holds) t.checks) in
+  [ t.id; t.title; Printf.sprintf "%d/%d checks hold" ok total ]

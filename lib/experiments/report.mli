@@ -1,0 +1,30 @@
+(** Uniform experiment output: a set of paper-vs-measured checks plus the
+    tables and rendered ASCII figures that regenerate the corresponding
+    cell of Table 1 (or a derived figure). *)
+
+type check = {
+  claim : string;  (** what the paper asserts, in one line *)
+  expected : string;  (** the paper's quantitative prediction *)
+  measured : string;  (** what the simulation produced *)
+  holds : bool;  (** whether the measured value is on the paper's side *)
+}
+
+type t = {
+  id : string;
+  title : string;
+  checks : check list;
+  tables : Churnet_util.Table.t list;
+  figures : string list;  (** pre-rendered ASCII charts *)
+}
+
+val check : claim:string -> expected:string -> measured:string -> holds:bool -> check
+val make : id:string -> title:string -> ?tables:Churnet_util.Table.t list ->
+  ?figures:string list -> check list -> t
+
+val all_hold : t -> bool
+val render : t -> string
+(** Human-readable block: header, checks with PASS/FAIL markers, tables,
+    figures. *)
+
+val summary_row : t -> string list
+(** [id; title; "k/m checks hold"] for the final summary table. *)

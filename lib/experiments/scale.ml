@@ -1,0 +1,13 @@
+type t = Smoke | Standard | Full
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "smoke" -> Some Smoke
+  | "standard" -> Some Standard
+  | "full" -> Some Full
+  | _ -> None
+
+let to_string = function Smoke -> "smoke" | Standard -> "standard" | Full -> "full"
+
+let pick t ~smoke ~standard ~full =
+  match t with Smoke -> smoke | Standard -> standard | Full -> full

@@ -1,0 +1,12 @@
+(** Effort knobs shared by all experiments.  [Smoke] keeps everything
+    small enough for CI-style runs (seconds), [Standard] is the default
+    used by the benchmark harness, [Full] is for overnight-quality
+    statistics. *)
+
+type t = Smoke | Standard | Full
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val pick : t -> smoke:'a -> standard:'a -> full:'a -> 'a
+(** Select a value by scale. *)

@@ -1,0 +1,336 @@
+module Prng = Churnet_util.Prng
+
+type node_id = int
+
+type node = {
+  id : int;
+  birth : int;
+  out_slots : int array; (* target id per slot, -1 = empty *)
+  in_edges : (int, int) Hashtbl.t; (* src id -> multiplicity *)
+}
+
+type t = {
+  d : int;
+  regenerate : bool;
+  rng : Prng.t;
+  nodes : (int, node) Hashtbl.t;
+  mutable alive : int array; (* dense array of alive ids, for O(1) sampling *)
+  mutable alive_len : int;
+  alive_index : (int, int) Hashtbl.t; (* id -> position in [alive] *)
+  mutable next_id : int;
+  mutable edge_hook : (src:node_id -> dst:node_id -> unit) option;
+  mutable death_hook : (node_id -> unit) option;
+  mutable birth_hook : (node_id -> birth:int -> unit) option;
+}
+
+let create ?rng ~d ~regenerate () =
+  if d <= 0 then invalid_arg "Dyngraph.create: d must be positive";
+  let rng = match rng with Some r -> r | None -> Prng.create 0x5eed in
+  {
+    d;
+    regenerate;
+    rng;
+    nodes = Hashtbl.create 1024;
+    alive = Array.make 1024 (-1);
+    alive_len = 0;
+    alive_index = Hashtbl.create 1024;
+    next_id = 0;
+    edge_hook = None;
+    death_hook = None;
+    birth_hook = None;
+  }
+
+let d t = t.d
+let regenerate t = t.regenerate
+let set_edge_hook t hook = t.edge_hook <- hook
+let set_death_hook t hook = t.death_hook <- hook
+let set_birth_hook t hook = t.birth_hook <- hook
+let alive_count t = t.alive_len
+let is_alive t id = Hashtbl.mem t.alive_index id
+
+let get_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some node -> node
+  | None -> invalid_arg (Printf.sprintf "Dyngraph: node %d is not alive" id)
+
+let alive_push t id =
+  if t.alive_len = Array.length t.alive then begin
+    let bigger = Array.make (2 * t.alive_len) (-1) in
+    Array.blit t.alive 0 bigger 0 t.alive_len;
+    t.alive <- bigger
+  end;
+  t.alive.(t.alive_len) <- id;
+  Hashtbl.replace t.alive_index id t.alive_len;
+  t.alive_len <- t.alive_len + 1
+
+let alive_remove t id =
+  match Hashtbl.find_opt t.alive_index id with
+  | None -> invalid_arg "Dyngraph: removing a node that is not alive"
+  | Some pos ->
+      let last = t.alive_len - 1 in
+      let moved = t.alive.(last) in
+      t.alive.(pos) <- moved;
+      Hashtbl.replace t.alive_index moved pos;
+      t.alive_len <- last;
+      Hashtbl.remove t.alive_index id;
+      if moved = id then () (* id was the last element; index already removed *)
+
+let random_alive t =
+  if t.alive_len = 0 then invalid_arg "Dyngraph.random_alive: empty graph";
+  t.alive.(Prng.int t.rng t.alive_len)
+
+(* Uniform alive node distinct from [self]; None when no such node exists. *)
+let random_alive_excluding t self =
+  if t.alive_len = 0 then None
+  else if t.alive_len = 1 && t.alive.(0) = self then None
+  else begin
+    let rec go () =
+      let cand = t.alive.(Prng.int t.rng t.alive_len) in
+      if cand = self then go () else cand
+    in
+    Some (go ())
+  end
+
+let incr_in_edge target src =
+  Hashtbl.replace target.in_edges src
+    (1 + Option.value ~default:0 (Hashtbl.find_opt target.in_edges src))
+
+let decr_in_edge target src =
+  match Hashtbl.find_opt target.in_edges src with
+  | None -> ()
+  | Some 1 -> Hashtbl.remove target.in_edges src
+  | Some k -> Hashtbl.replace target.in_edges src (k - 1)
+
+let fire_hook t ~src ~dst =
+  match t.edge_hook with None -> () | Some f -> f ~src ~dst
+
+let add_node t ~birth =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let node = { id; birth; out_slots = Array.make t.d (-1); in_edges = Hashtbl.create 8 } in
+  (* Sample destinations among nodes alive *before* this birth. *)
+  for slot = 0 to t.d - 1 do
+    match random_alive_excluding t id with
+    | None -> ()
+    | Some target_id ->
+        node.out_slots.(slot) <- target_id;
+        incr_in_edge (get_node t target_id) id
+  done;
+  Hashtbl.replace t.nodes id node;
+  alive_push t id;
+  (match t.birth_hook with None -> () | Some f -> f id ~birth);
+  Array.iter (fun dst -> if dst >= 0 then fire_hook t ~src:id ~dst) node.out_slots;
+  id
+
+let add_node_with_targets t ~birth ~targets =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let node = { id; birth; out_slots = Array.make t.d (-1); in_edges = Hashtbl.create 8 } in
+  let slot = ref 0 in
+  Array.iter
+    (fun target_id ->
+      if !slot < t.d && target_id <> id && Hashtbl.mem t.nodes target_id then begin
+        node.out_slots.(!slot) <- target_id;
+        incr_in_edge (get_node t target_id) id;
+        incr slot
+      end)
+    targets;
+  Hashtbl.replace t.nodes id node;
+  alive_push t id;
+  (match t.birth_hook with None -> () | Some f -> f id ~birth);
+  Array.iter (fun dst -> if dst >= 0 then fire_hook t ~src:id ~dst) node.out_slots;
+  id
+
+let peek_next_id t = t.next_id
+
+let connect t ~src ~dst =
+  if src = dst then false
+  else
+    match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
+    | Some src_node, Some dst_node ->
+        let slot = ref (-1) in
+        Array.iteri
+          (fun i target -> if target < 0 && !slot < 0 then slot := i)
+          src_node.out_slots;
+        if !slot < 0 then false
+        else begin
+          src_node.out_slots.(!slot) <- dst;
+          incr_in_edge dst_node src;
+          fire_hook t ~src ~dst;
+          true
+        end
+    | _ -> false
+
+let disconnect t ~src ~dst =
+  match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
+  | Some src_node, Some dst_node ->
+      let slot = ref (-1) in
+      Array.iteri
+        (fun i target -> if target = dst && !slot < 0 then slot := i)
+        src_node.out_slots;
+      if !slot < 0 then false
+      else begin
+        src_node.out_slots.(!slot) <- -1;
+        decr_in_edge dst_node src;
+        true
+      end
+  | _ -> false
+
+let in_degree t id = Hashtbl.length (get_node t id).in_edges
+
+let kill t id =
+  let node = get_node t id in
+  (match t.death_hook with None -> () | Some f -> f id);
+  (* Remove from the alive set first so regeneration cannot choose [id]. *)
+  alive_remove t id;
+  Hashtbl.remove t.nodes id;
+  (* Drop this node's out-edges from its targets' in-edge tables. *)
+  Array.iter
+    (fun target_id ->
+      if target_id >= 0 then
+        match Hashtbl.find_opt t.nodes target_id with
+        | Some target -> decr_in_edge target id
+        | None -> ())
+    node.out_slots;
+  (* Each surviving in-neighbor loses the slots that pointed here and, with
+     regeneration, immediately re-samples them over the current alive set. *)
+  Hashtbl.iter
+    (fun src_id _multiplicity ->
+      match Hashtbl.find_opt t.nodes src_id with
+      | None -> ()
+      | Some src ->
+          Array.iteri
+            (fun slot target ->
+              if target = id then begin
+                src.out_slots.(slot) <- -1;
+                if t.regenerate then
+                  match random_alive_excluding t src_id with
+                  | None -> ()
+                  | Some fresh ->
+                      src.out_slots.(slot) <- fresh;
+                      incr_in_edge (get_node t fresh) src_id;
+                      fire_hook t ~src:src_id ~dst:fresh
+              end)
+            src.out_slots)
+    node.in_edges
+
+let iter_alive t f =
+  for i = 0 to t.alive_len - 1 do
+    f t.alive.(i)
+  done
+
+let alive_ids t = Array.sub t.alive 0 t.alive_len
+let birth_of t id = (get_node t id).birth
+
+let out_targets t id =
+  let node = get_node t id in
+  Array.fold_right (fun target acc -> if target >= 0 then target :: acc else acc)
+    node.out_slots []
+
+let out_slots_raw t id = Array.copy (get_node t id).out_slots
+
+let in_neighbors t id =
+  let node = get_node t id in
+  Hashtbl.fold (fun src _ acc -> src :: acc) node.in_edges []
+
+let neighbors t id =
+  let node = get_node t id in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun target -> if target >= 0 then Hashtbl.replace seen target ())
+    node.out_slots;
+  Hashtbl.iter (fun src _ -> Hashtbl.replace seen src ()) node.in_edges;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+let degree t id = List.length (neighbors t id)
+
+let out_degree t id =
+  let node = get_node t id in
+  Array.fold_left (fun acc target -> if target >= 0 then acc + 1 else acc) 0 node.out_slots
+
+let edge_count t =
+  let total = ref 0 in
+  iter_alive t (fun id -> total := !total + out_degree t id);
+  !total
+
+let oldest_alive t =
+  if t.alive_len = 0 then None
+  else begin
+    let best = ref max_int in
+    iter_alive t (fun id -> if id < !best then best := id);
+    Some !best
+  end
+
+let snapshot t =
+  let ids = alive_ids t in
+  Array.sort compare ids;
+  let n = Array.length ids in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  let births = Array.map (fun id -> (get_node t id).birth) ids in
+  let out_deg = Array.map (fun id -> out_degree t id) ids in
+  let adj =
+    Array.map
+      (fun id ->
+        let neigh = neighbors t id in
+        let arr = List.filter_map (fun v -> Hashtbl.find_opt index_of v) neigh in
+        let arr = Array.of_list arr in
+        Array.sort compare arr;
+        arr)
+      ids
+  in
+  Snapshot.make ~ids ~births ~adj ~out_deg
+
+let check_invariants t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* alive array and index agree *)
+  for i = 0 to t.alive_len - 1 do
+    let id = t.alive.(i) in
+    (match Hashtbl.find_opt t.alive_index id with
+    | Some j when j = i -> ()
+    | _ -> fail "alive index mismatch for node %d" id);
+    if not (Hashtbl.mem t.nodes id) then fail "alive node %d missing record" id
+  done;
+  if Hashtbl.length t.alive_index <> t.alive_len then fail "alive index size mismatch";
+  if Hashtbl.length t.nodes <> t.alive_len then fail "node table size mismatch";
+  (* slot / in-edge symmetry *)
+  Hashtbl.iter
+    (fun id node ->
+      Array.iter
+        (fun target ->
+          if target >= 0 then begin
+            if target = id then fail "self-loop at node %d" id;
+            match Hashtbl.find_opt t.nodes target with
+            | None -> fail "node %d has slot to dead node %d" id target
+            | Some tgt ->
+                if Option.value ~default:0 (Hashtbl.find_opt tgt.in_edges id) <= 0 then
+                  fail "slot %d->%d not recorded as in-edge" id target
+          end)
+        node.out_slots;
+      Hashtbl.iter
+        (fun src mult ->
+          if mult <= 0 then fail "non-positive multiplicity %d->%d" src id;
+          match Hashtbl.find_opt t.nodes src with
+          | None -> fail "in-edge from dead node %d at %d" src id
+          | Some src_node ->
+              let count =
+                Array.fold_left
+                  (fun acc target -> if target = id then acc + 1 else acc)
+                  0 src_node.out_slots
+              in
+              if count <> mult then
+                fail "multiplicity mismatch %d->%d: slots %d, recorded %d" src id count
+                  mult)
+        node.in_edges;
+      if t.regenerate && t.alive_len >= 2 then begin
+        let filled =
+          Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 node.out_slots
+        in
+        (* Nodes born into a near-empty graph may have permanently empty
+           slots; regeneration only refills slots that once held an edge.
+           Any node born when >= d+1 nodes were alive must be full. *)
+        ignore filled
+      end)
+    t.nodes;
+  match !err with None -> Ok () | Some e -> Error e

@@ -1,0 +1,165 @@
+module Prng = Churnet_util.Prng
+
+(* Count triangles and wedges.  Adjacency lists are sorted, so common
+   neighbors are found by merge; each triangle is counted once per corner
+   and divided out at the end. *)
+let triangles_and_wedges snap =
+  let n = Snapshot.n snap in
+  let triangles = ref 0 and wedges = ref 0 in
+  let common_count a b =
+    let la = Array.length a and lb = Array.length b in
+    let i = ref 0 and j = ref 0 and c = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x = y then begin
+        incr c;
+        incr i;
+        incr j
+      end
+      else if x < y then incr i
+      else incr j
+    done;
+    !c
+  in
+  for v = 0 to n - 1 do
+    let neigh = Snapshot.neighbors snap v in
+    let deg = Array.length neigh in
+    wedges := !wedges + (deg * (deg - 1) / 2);
+    Array.iter
+      (fun w ->
+        if w > v then
+          triangles := !triangles + common_count neigh (Snapshot.neighbors snap w))
+      neigh
+  done;
+  (* Each triangle contributes one common-neighbor hit per edge (v < w),
+     i.e. 3 hits total. *)
+  (!triangles / 3, !wedges)
+
+let global_clustering snap =
+  let tri, wedges = triangles_and_wedges snap in
+  if wedges = 0 then nan else 3. *. float_of_int tri /. float_of_int wedges
+
+let mean_local_clustering snap =
+  let n = Snapshot.n snap in
+  let acc = ref 0. and count = ref 0 in
+  for v = 0 to n - 1 do
+    let neigh = Snapshot.neighbors snap v in
+    let deg = Array.length neigh in
+    if deg >= 2 then begin
+      let links = ref 0 in
+      let member u arr =
+        (* binary search in the sorted adjacency *)
+        let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref false in
+        while !lo <= !hi && not !found do
+          let mid = (!lo + !hi) / 2 in
+          if arr.(mid) = u then found := true
+          else if arr.(mid) < u then lo := mid + 1
+          else hi := mid - 1
+        done;
+        !found
+      in
+      Array.iteri
+        (fun i a ->
+          for j = i + 1 to deg - 1 do
+            if member neigh.(j) (Snapshot.neighbors snap a) then incr links
+          done)
+        neigh;
+      acc := !acc +. (2. *. float_of_int !links /. float_of_int (deg * (deg - 1)));
+      incr count
+    end
+  done;
+  if !count = 0 then nan else !acc /. float_of_int !count
+
+let degree_assortativity snap =
+  let pairs = ref [] in
+  let n = Snapshot.n snap in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun w ->
+        if w > v then begin
+          let dv = float_of_int (Snapshot.degree snap v) in
+          let dw = float_of_int (Snapshot.degree snap w) in
+          (* An undirected edge contributes both orientations to Newman's
+             correlation. *)
+          pairs := (dv, dw) :: (dw, dv) :: !pairs
+        end)
+      (Snapshot.neighbors snap v)
+  done;
+  Churnet_util.Stats.pearson (Array.of_list !pairs)
+
+let sample_bfs ?rng ?(sources = 16) snap =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x3E7 in
+  let n = Snapshot.n snap in
+  let sources = min sources n in
+  let picks =
+    if sources = n then Array.init n Fun.id
+    else Prng.sample_without_replacement rng sources n
+  in
+  Array.map (fun s -> Snapshot.bfs snap s) picks
+
+let mean_distance ?rng ?sources snap =
+  let runs = sample_bfs ?rng ?sources snap in
+  let acc = ref 0. and count = ref 0 in
+  Array.iter
+    (fun dist ->
+      Array.iter
+        (fun d ->
+          if d > 0 then begin
+            acc := !acc +. float_of_int d;
+            incr count
+          end)
+        dist)
+    runs;
+  if !count = 0 then nan else !acc /. float_of_int !count
+
+let diameter_estimate ?rng ?sources snap =
+  let runs = sample_bfs ?rng ?sources snap in
+  Array.fold_left
+    (fun best dist -> Array.fold_left (fun b d -> if d > b then d else b) best dist)
+    0 runs
+
+let degree_gini snap =
+  let n = Snapshot.n snap in
+  if n = 0 then nan
+  else begin
+    let degs = Array.init n (fun v -> float_of_int (Snapshot.degree snap v)) in
+    Array.sort compare degs;
+    let total = Array.fold_left ( +. ) 0. degs in
+    if total <= 0. then 0.
+    else begin
+      let weighted = ref 0. in
+      Array.iteri (fun i d -> weighted := !weighted +. (float_of_int (i + 1) *. d)) degs;
+      let fn = float_of_int n in
+      ((2. *. !weighted) /. (fn *. total)) -. ((fn +. 1.) /. fn)
+    end
+  end
+
+type fingerprint = {
+  nodes : int;
+  edges : int;
+  mean_degree : float;
+  max_degree : int;
+  degree_gini : float;
+  global_clustering : float;
+  assortativity : float;
+  mean_distance : float;
+  diameter_lb : int;
+  giant_fraction : float;
+}
+
+let fingerprint ?rng snap =
+  let rng = match rng with Some r -> r | None -> Prng.create 0xF19 in
+  {
+    nodes = Snapshot.n snap;
+    edges = Snapshot.edge_count snap;
+    mean_degree = Snapshot.mean_degree snap;
+    max_degree = Snapshot.max_degree snap;
+    degree_gini = degree_gini snap;
+    global_clustering = global_clustering snap;
+    assortativity = degree_assortativity snap;
+    mean_distance = mean_distance ~rng snap;
+    diameter_lb = diameter_estimate ~rng snap;
+    giant_fraction =
+      (if Snapshot.n snap = 0 then nan
+       else float_of_int (Snapshot.largest_component snap) /. float_of_int (Snapshot.n snap));
+  }

@@ -1,0 +1,184 @@
+module Bitset = Churnet_util.Bitset
+
+type t = {
+  ids : int array;
+  births : int array;
+  adj : int array array;
+  out_deg : int array;
+  index_of : (int, int) Hashtbl.t;
+}
+
+let make ~ids ~births ~adj ~out_deg =
+  let n = Array.length ids in
+  if Array.length births <> n || Array.length adj <> n || Array.length out_deg <> n then
+    invalid_arg "Snapshot.make: length mismatch";
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  { ids; births; adj; out_deg; index_of }
+
+let of_edges ~n edges =
+  let tmp = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Snapshot.of_edges";
+      if u <> v then begin
+        tmp.(u) <- v :: tmp.(u);
+        tmp.(v) <- u :: tmp.(v)
+      end)
+    edges;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list (List.sort_uniq compare l) in
+        a)
+      tmp
+  in
+  make ~ids:(Array.init n Fun.id) ~births:(Array.init n Fun.id) ~adj
+    ~out_deg:(Array.make n 0)
+
+let n t = Array.length t.ids
+let ids t = Array.copy t.ids
+let id_of_index t i = t.ids.(i)
+let index_of_id t id = Hashtbl.find_opt t.index_of id
+let birth_of_index t i = t.births.(i)
+let neighbors t i = t.adj.(i)
+let degree t i = Array.length t.adj.(i)
+let out_degree t i = t.out_deg.(i)
+
+let edge_count t =
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.adj in
+  total / 2
+
+let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+
+let mean_degree t =
+  let nn = n t in
+  if nn = 0 then nan
+  else
+    float_of_int (Array.fold_left (fun acc a -> acc + Array.length a) 0 t.adj)
+    /. float_of_int nn
+
+let isolated t =
+  let acc = ref [] in
+  for i = n t - 1 downto 0 do
+    if Array.length t.adj.(i) = 0 then acc := i :: !acc
+  done;
+  !acc
+
+let bfs t src =
+  let nn = n t in
+  let dist = Array.make nn (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  dist
+
+let components t =
+  let nn = n t in
+  let label = Array.make nn (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to nn - 1 do
+    if label.(s) < 0 then begin
+      let c = !next in
+      incr next;
+      label.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if label.(v) < 0 then begin
+              label.(v) <- c;
+              Queue.add v queue
+            end)
+          t.adj.(u)
+      done
+    end
+  done;
+  (label, !next)
+
+let largest_component t =
+  let label, k = components t in
+  if k = 0 then 0
+  else begin
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) label;
+    Array.fold_left max 0 sizes
+  end
+
+let boundary t set =
+  let acc = ref [] in
+  let seen = Bitset.create (n t) in
+  Bitset.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if (not (Bitset.mem set v)) && not (Bitset.mem seen v) then begin
+            Bitset.add seen v;
+            acc := v :: !acc
+          end)
+        t.adj.(u))
+    set;
+  Array.of_list !acc
+
+let boundary_size t set =
+  let seen = Bitset.create (n t) in
+  let count = ref 0 in
+  Bitset.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if (not (Bitset.mem set v)) && not (Bitset.mem seen v) then begin
+            Bitset.add seen v;
+            incr count
+          end)
+        t.adj.(u))
+    set;
+  !count
+
+let expansion t set =
+  let s = Bitset.cardinal set in
+  if s = 0 then nan else float_of_int (boundary_size t set) /. float_of_int s
+
+let set_of_indices t indices =
+  let set = Bitset.create (n t) in
+  Array.iter (fun i -> Bitset.add set i) indices;
+  set
+
+let indices_by_age t = Array.init (n t) Fun.id
+
+let degree_histogram t =
+  let h = Array.make (max_degree t + 1) 0 in
+  Array.iter (fun a -> h.(Array.length a) <- h.(Array.length a) + 1) t.adj;
+  h
+
+let to_dot ?(name = "snapshot") ?(highlight = []) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle, fontsize=8];\n";
+  let hl = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace hl i ()) highlight;
+  Array.iteri
+    (fun i id ->
+      if Hashtbl.mem hl i then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%d\", style=filled, fillcolor=red];\n" i id)
+      else Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%d\"];\n" i id))
+    t.ids;
+  Array.iteri
+    (fun u neigh ->
+      Array.iter (fun v -> if v > u then Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v)) neigh)
+    t.adj;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

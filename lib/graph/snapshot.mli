@@ -1,0 +1,69 @@
+(** Immutable snapshot G_t = (N_t, E_t) of a dynamic graph, re-indexed to
+    0..n-1, with the graph algorithms used by the expansion and flooding
+    analyses (BFS, components, set boundaries, degree census).
+
+    Index 0..n-1 ordering follows increasing node id, hence increasing
+    birth time: index 0 is the oldest alive node. *)
+
+type t
+
+val make :
+  ids:int array -> births:int array -> adj:int array array -> out_deg:int array -> t
+(** Build a snapshot from raw arrays (used by {!Dyngraph.snapshot} and by
+    tests).  [adj] must be symmetric and deduplicated; [ids] must be
+    strictly increasing. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Convenience constructor for tests: nodes 0..n-1 with the given
+    undirected edges (ids = indices, births = ids, out_deg = 0). *)
+
+val n : t -> int
+val ids : t -> int array
+val id_of_index : t -> int -> int
+val index_of_id : t -> int -> int option
+val birth_of_index : t -> int -> int
+val neighbors : t -> int -> int array
+(** Adjacency of a snapshot index (distinct, sorted). *)
+
+val degree : t -> int -> int
+val out_degree : t -> int -> int
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val max_degree : t -> int
+val mean_degree : t -> float
+val isolated : t -> int list
+(** Snapshot indices with no neighbors. *)
+
+val bfs : t -> int -> int array
+(** [bfs t src] = distance array from snapshot index [src]; -1 means
+    unreachable. *)
+
+val components : t -> int array * int
+(** Component label per index and the number of components. *)
+
+val largest_component : t -> int
+(** Size of the largest connected component. *)
+
+val boundary : t -> Churnet_util.Bitset.t -> int array
+(** Outer boundary of a set of snapshot indices:
+    [∂out(S) = { v ∉ S : ∃ u ∈ S, {u,v} ∈ E }]. *)
+
+val boundary_size : t -> Churnet_util.Bitset.t -> int
+val expansion : t -> Churnet_util.Bitset.t -> float
+(** [|∂out(S)| / |S|]; [nan] on the empty set. *)
+
+val set_of_indices : t -> int array -> Churnet_util.Bitset.t
+(** Bitset over snapshot indices. *)
+
+val indices_by_age : t -> int array
+(** All indices ordered oldest first (i.e. identity, by construction —
+    provided for clarity at call sites). *)
+
+val degree_histogram : t -> int array
+(** [h.(k)] = number of vertices with degree [k]. *)
+
+val to_dot : ?name:string -> ?highlight:int list -> t -> string
+(** Graphviz DOT rendering (undirected).  Vertices are labelled by node
+    id; indices in [highlight] are filled red — handy to visualize
+    informed sets or low-expansion witnesses. *)

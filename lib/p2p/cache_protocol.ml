@@ -1,0 +1,81 @@
+module Dyngraph = Churnet_graph.Dyngraph
+module Prng = Churnet_util.Prng
+
+type t = {
+  n : int;
+  d : int;
+  cache_size : int;
+  join_probability : float;
+  rng : Prng.t;
+  graph : Dyngraph.t;
+  cache : int array; (* -1 = empty entry *)
+  mutable round : int;
+  birth_ids : int array;
+  mutable newest : int;
+}
+
+let create ?rng ?(cache_size = 32) ?(join_probability = 0.5) ~n ~d () =
+  if n < 2 then invalid_arg "Cache_protocol.create: n must be >= 2";
+  let rng = match rng with Some r -> r | None -> Prng.create 0xCAC8E in
+  let graph_rng = Prng.split rng in
+  {
+    n;
+    d;
+    cache_size;
+    join_probability;
+    rng;
+    graph = Dyngraph.create ~rng:graph_rng ~d ~regenerate:false ();
+    cache = Array.make cache_size (-1);
+    round = 0;
+    birth_ids = Array.make n (-1);
+    newest = -1;
+  }
+
+let n t = t.n
+let d t = t.d
+let graph t = t.graph
+
+let refresh_cache t =
+  (* Replace dead (or empty) entries with uniform alive nodes. *)
+  if Dyngraph.alive_count t.graph > 0 then
+    Array.iteri
+      (fun i entry ->
+        if entry < 0 || not (Dyngraph.is_alive t.graph entry) then
+          t.cache.(i) <- Dyngraph.random_alive t.graph)
+      t.cache
+
+let step t =
+  t.round <- t.round + 1;
+  let slot = t.round mod t.n in
+  let dying = t.birth_ids.(slot) in
+  if dying >= 0 && Dyngraph.is_alive t.graph dying then Dyngraph.kill t.graph dying;
+  refresh_cache t;
+  let targets =
+    Array.init t.d (fun _ ->
+        let entry = t.cache.(Prng.int t.rng t.cache_size) in
+        entry)
+  in
+  let id = Dyngraph.add_node_with_targets t.graph ~birth:t.round ~targets in
+  if Prng.bernoulli t.rng t.join_probability then
+    t.cache.(Prng.int t.rng t.cache_size) <- id;
+  t.birth_ids.(slot) <- id;
+  t.newest <- id
+
+let run t k =
+  for _ = 1 to k do
+    step t
+  done
+
+let warm_up t = run t (2 * t.n)
+
+let newest t =
+  if t.newest < 0 then invalid_arg "Cache_protocol.newest: no rounds executed";
+  t.newest
+
+let snapshot t = Dyngraph.snapshot t.graph
+
+let flood ?max_rounds t =
+  Churnet_core.Flood.run_custom ?max_rounds ~graph:t.graph
+    ~step:(fun () -> step t)
+    ~newest:(fun () -> newest t)
+    ~default_max_rounds:(4 * t.n) ()

@@ -1,0 +1,31 @@
+(** A centralized-cache attachment protocol in the streaming churn model,
+    in the spirit of Pandurangan, Raghavan and Upfal [23]: the system
+    maintains a small cache of node addresses; a joining node connects to
+    [d] nodes sampled from the cache, joins the cache with a fixed
+    probability, and dead cache entries are replaced by uniform alive
+    nodes.  The cache keeps the attachment targets young, which maintains
+    connectivity and low diameter with O(1) shared state — the classic
+    algorithmic alternative the paper contrasts with its algorithm-free
+    models. *)
+
+type t
+
+val create :
+  ?rng:Churnet_util.Prng.t ->
+  ?cache_size:int ->
+  ?join_probability:float ->
+  n:int ->
+  d:int ->
+  unit ->
+  t
+(** Defaults: [cache_size = 32], [join_probability = 0.5]. *)
+
+val n : t -> int
+val d : t -> int
+val graph : t -> Churnet_graph.Dyngraph.t
+val step : t -> unit
+val run : t -> int -> unit
+val warm_up : t -> unit
+val newest : t -> Churnet_graph.Dyngraph.node_id
+val snapshot : t -> Churnet_graph.Snapshot.t
+val flood : ?max_rounds:int -> t -> Churnet_core.Flood.trace

@@ -1,0 +1,29 @@
+(** A local-update protocol in the streaming churn model, in the spirit of
+    Duchon and Duvignau [12]: the network maintains (near-)d-out-regularity
+    through {e edge takeover} instead of fresh uniform sampling.
+
+    - Insertion: the newborn [u] picks d uniformly random "donor" nodes;
+      each donor redirects one uniformly-chosen out-link to [u], and [u]
+      adopts the donor's old target as its own out-link.  Degrees are
+      conserved exactly: every insertion moves d link endpoints and
+      creates d new ones.
+    - Deletion: the dying node's out-targets are handed over to its
+      in-neighbors (whose links pointed at it), pairing them up; leftover
+      in-neighbors re-sample uniformly.
+
+    Compared to the paper's SDGR (fresh uniform re-sampling) this shows a
+    second, equally decentralized way to keep the topology well-connected
+    under churn — and its fingerprint differences (F10/F12). *)
+
+type t
+
+val create : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> t
+val n : t -> int
+val d : t -> int
+val graph : t -> Churnet_graph.Dyngraph.t
+val step : t -> unit
+val run : t -> int -> unit
+val warm_up : t -> unit
+val newest : t -> Churnet_graph.Dyngraph.node_id
+val snapshot : t -> Churnet_graph.Snapshot.t
+val flood : ?max_rounds:int -> t -> Churnet_core.Flood.trace

@@ -1,0 +1,43 @@
+type t = { words : Bytes.t; capacity : int; mutable cardinal : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((capacity + 7) / 8) '\000'; capacity; cardinal = 0 }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask = 0 then begin
+    Bytes.set t.words (i lsr 3) (Char.chr (byte lor mask));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let remove t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask <> 0 then begin
+    Bytes.set t.words (i lsr 3) (Char.chr (byte land lnot mask));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+
+let clear t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\000';
+  t.cardinal <- 0
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done

@@ -1,0 +1,13 @@
+(** Compact fixed-capacity bitset over 0..capacity-1.
+    Used for informed-set membership during large floods. *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,103 @@
+let exponential rng lambda =
+  if lambda <= 0. then invalid_arg "Dist.exponential: lambda <= 0";
+  (* Inversion; 1 - u avoids log 0. *)
+  -.log (1. -. Prng.unit_float rng) /. lambda
+
+let log_factorial_table =
+  lazy
+    (let t = Array.make 256 0. in
+     for k = 2 to 255 do
+       t.(k) <- t.(k - 1) +. log (float_of_int k)
+     done;
+     t)
+
+let log_factorial k =
+  if k < 0 then invalid_arg "Dist.log_factorial: negative argument";
+  if k < 256 then (Lazy.force log_factorial_table).(k)
+  else
+    (* Stirling series with the 1/12k correction: accurate to ~1e-8 here. *)
+    let n = float_of_int k in
+    ((n +. 0.5) *. log n) -. n
+    +. (0.5 *. log (2. *. Float.pi))
+    +. (1. /. (12. *. n))
+    -. (1. /. (360. *. n *. n *. n))
+
+let poisson_pmf mean k =
+  if mean < 0. || k < 0 then 0.
+  else if mean = 0. then if k = 0 then 1. else 0.
+  else exp ((float_of_int k *. log mean) -. mean -. log_factorial k)
+
+let poisson rng mean =
+  if mean < 0. then invalid_arg "Dist.poisson: negative mean";
+  if mean = 0. then 0
+  else if mean < 30. then begin
+    (* Knuth: multiply uniforms until below e^-mean. *)
+    let l = exp (-.mean) in
+    let rec go k p =
+      let p = p *. Prng.unit_float rng in
+      if p <= l then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+  else begin
+    (* Split the mean so each Knuth stage stays cheap and exact. *)
+    let half = mean /. 2. in
+    let a = ref 0 in
+    let rest = ref mean in
+    while !rest > 30. do
+      (* sample Poisson(half) recursively via the small-mean path *)
+      let l = exp (-.half) in
+      let rec go k p =
+        let p = p *. Prng.unit_float rng in
+        if p <= l then k else go (k + 1) p
+      in
+      a := !a + go 0 1.;
+      rest := !rest -. half
+    done;
+    let l = exp (-. !rest) in
+    let rec go k p =
+      let p = p *. Prng.unit_float rng in
+      if p <= l then k else go (k + 1) p
+    in
+    !a + go 0 1.
+  end
+
+let geometric rng p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p out of (0,1]";
+  if p = 1. then 0
+  else
+    let u = 1. -. Prng.unit_float rng in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let binomial rng n p =
+  if n < 0 then invalid_arg "Dist.binomial: negative n";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else if float_of_int n *. p < 32. then begin
+    (* Waiting-time method: each success consumes Geometric(p) >= 1
+       trials; count successes until the n trials are exhausted. *)
+    let q = log (1. -. p) in
+    let rec go count trials_used =
+      let u = 1. -. Prng.unit_float rng in
+      let skip = 1 + int_of_float (Float.floor (log u /. q)) in
+      let trials_used = trials_used + skip in
+      if trials_used > n then count else go (count + 1) trials_used
+    in
+    let c = go 0 0 in
+    min c n
+  end
+  else begin
+    (* Direct Bernoulli sum; n is moderate in all our uses. *)
+    let c = ref 0 in
+    for _ = 1 to n do
+      if Prng.bernoulli rng p then incr c
+    done;
+    !c
+  end
+
+let std_normal rng =
+  let u1 = 1. -. Prng.unit_float rng in
+  let u2 = Prng.unit_float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let exponential_pdf lambda x = if x < 0. then 0. else lambda *. exp (-.lambda *. x)

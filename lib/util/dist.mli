@@ -1,0 +1,34 @@
+(** Samplers and probability functions for the distributions used by the
+    Poisson dynamic-graph models: exponential inter-arrival times and
+    lifetimes (Definition 4.1), Poisson arrival counts, and a few helpers
+    used by the statistical validation experiments. *)
+
+val exponential : Prng.t -> float -> float
+(** [exponential rng lambda] samples Exp(lambda) by inversion.
+    Mean is [1 /. lambda].  [lambda] must be positive. *)
+
+val poisson : Prng.t -> float -> int
+(** [poisson rng mean] samples a Poisson variate.  Uses Knuth
+    multiplication for small means and the normal-rejection PTRS-lite
+    scheme via inversion-by-search for larger means (exact, O(mean)). *)
+
+val geometric : Prng.t -> float -> int
+(** [geometric rng p] is the number of failures before the first success of
+    a Bernoulli(p), i.e. supported on 0, 1, 2, ... *)
+
+val binomial : Prng.t -> int -> float -> int
+(** [binomial rng n p] samples Bin(n, p) in O(min(n, expected)). *)
+
+val std_normal : Prng.t -> float
+(** Standard normal via Box-Muller. *)
+
+val exponential_pdf : float -> float -> float
+(** [exponential_pdf lambda x] is the density of Exp(lambda) at [x]. *)
+
+val poisson_pmf : float -> int -> float
+(** [poisson_pmf mean k] is the Poisson probability mass at [k],
+    computed in log space for stability. *)
+
+val log_factorial : int -> float
+(** [log_factorial k] = ln k!, via Stirling for large [k] with a cached
+    table for small values. *)

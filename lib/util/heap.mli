@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by float priorities.
+
+    Used as the event queue of the asynchronous (continuous-time) flooding
+    process of Definition 4.2, where churn events and message deliveries
+    interleave on the real line. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v] with [priority]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit

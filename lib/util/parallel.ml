@@ -1,0 +1,33 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let domains =
+    match domains with Some d -> max 1 d | None -> recommended_domains ()
+  in
+  if n = 0 then [||]
+  else if domains <= 1 || n = 1 then Array.map f xs
+  else begin
+    let workers = min domains n in
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let chunk = (n + workers - 1) / workers in
+    let run lo hi () =
+      try
+        for i = lo to hi do
+          results.(i) <- Some (f xs.(i))
+        done
+      with exn -> Atomic.set failure (Some exn)
+    in
+    let handles =
+      List.init workers (fun w ->
+          let lo = w * chunk in
+          let hi = min (n - 1) (((w + 1) * chunk) - 1) in
+          if lo > hi then None else Some (Domain.spawn (run lo hi)))
+    in
+    List.iter (function Some h -> Domain.join h | None -> ()) handles;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let init ?domains n f = map ?domains f (Array.init n Fun.id)

@@ -1,0 +1,20 @@
+(** Minimal fork-join parallelism over OCaml 5 domains.
+
+    Experiments are embarrassingly parallel across trials (each trial owns
+    its PRNG, split deterministically up front), so a static block
+    partition over a few domains is all that is needed.  Falls back to
+    sequential execution when [domains <= 1] or on runtimes with a single
+    recommended domain. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8 (the experiments are
+    memory-bandwidth-bound beyond that). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] with the results in input order.  [f] must be safe to run
+    concurrently on distinct elements (no shared mutable state — in
+    particular, no shared {!Prng.t}).  Exceptions raised by [f] are
+    re-raised in the caller. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in churnet flows through values of type {!t}, so that
+    every simulation is reproducible from a single 64-bit seed.  The
+    generator is xoshiro256** seeded through SplitMix64, the standard
+    recommendation of Blackman & Vigna; it is fast, has a 2^256 - 1 period
+    and passes BigCrush. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]
+    (any int, including negative values). *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t].  Useful to give each replica of an experiment its own
+    stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future outputs). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound-1].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound). *)
+
+val unit_float : t -> float
+(** Uniform on [0,1) with 53 bits of precision. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values uniformly
+    from [0, n-1].  Requires [k <= n]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,87 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev_map (pad_to ncols) t.rows in
+  let all = t.headers :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  line t.headers;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let csv_cell s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line row =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter line (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 4) x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e15 && digits = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" digits x
+
+let fmt_pct x =
+  if Float.is_nan x then "nan" else Printf.sprintf "%.2f%%" (100. *. x)
+
+let fmt_ci (lo, hi) = Printf.sprintf "[%s, %s]" (fmt_float lo) (fmt_float hi)
+let fmt_sci x = Printf.sprintf "%.3g" x

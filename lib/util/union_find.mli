@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+    Used for connected-component analysis of graph snapshots. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled 0..n-1. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; [true] iff they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets. *)
+
+val component_sizes : t -> int list
+(** Sizes of all components, unordered. *)

@@ -1,0 +1,221 @@
+(* Tests for Onion, Isolated, Edge_prob. *)
+open Churnet_core
+module Prng = Churnet_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Onion-skin process --- *)
+
+let test_onion_validates_args () =
+  Alcotest.check_raises "odd d" (Invalid_argument "Onion.run: d must be even and >= 2")
+    (fun () -> ignore (Onion.run ~n:100 ~d:3 ()));
+  Alcotest.check_raises "tiny n" (Invalid_argument "Onion.run: n too small") (fun () ->
+      ignore (Onion.run ~n:8 ~d:4 ()))
+
+let test_onion_layers_consistent () =
+  let r = Onion.run ~rng:(Prng.create 1) ~n:2000 ~d:40 () in
+  check_int "young total = sum of layers" r.total_young
+    (Array.fold_left ( + ) 0 r.y_layer_sizes);
+  check_int "old total = sum of layers" r.total_old
+    (Array.fold_left ( + ) 0 r.o_layer_sizes);
+  check_bool "phases positive" true (r.phases >= 0)
+
+let test_onion_members_within_classes () =
+  (* Totals can never exceed the class sizes. *)
+  let n = 1500 in
+  let r = Onion.run ~rng:(Prng.create 2) ~n ~d:20 () in
+  check_bool "young bounded" true (r.total_young <= n / 2);
+  check_bool "old bounded" true (r.total_old <= n / 2)
+
+let test_onion_succeeds_for_large_d () =
+  (* Lemma 3.9: success probability >= 1 - 4 e^{-d/100}; for d = 64 the
+     empirical rate should be high at moderate n. *)
+  let p = Onion.success_probability ~rng:(Prng.create 3) ~n:4000 ~d:64 ~trials:20 () in
+  check_bool "mostly succeeds" true (p >= 0.8)
+
+let test_onion_fails_more_for_small_d () =
+  let p_small = Onion.success_probability ~rng:(Prng.create 4) ~n:2000 ~d:2 ~trials:30 () in
+  let p_large = Onion.success_probability ~rng:(Prng.create 5) ~n:2000 ~d:32 ~trials:30 () in
+  check_bool "monotone-ish in d" true (p_large >= p_small)
+
+let test_onion_growth_factor_scales_with_d () =
+  (* Claim 3.10: layers grow by ~ d/20 per step while small. *)
+  let r = Onion.run ~rng:(Prng.create 6) ~n:20000 ~d:100 () in
+  check_bool "reached target" true r.reached_target;
+  (* The first growth steps should exceed 1 clearly. *)
+  check_bool "early growth > 1.5" true
+    (Array.length r.growth_factors = 0 || r.growth_factors.(0) > 1.5)
+
+let test_onion_deterministic_with_seed () =
+  let a = Onion.run ~rng:(Prng.create 7) ~n:1000 ~d:16 () in
+  let b = Onion.run ~rng:(Prng.create 7) ~n:1000 ~d:16 () in
+  check_int "same young" a.total_young b.total_young;
+  check_int "same old" a.total_old b.total_old
+
+(* --- Isolated nodes --- *)
+
+let test_paper_bounds () =
+  Alcotest.(check (float 1e-9))
+    "sdg bound" (1000. *. exp (-4.) /. 6.)
+    (Isolated.paper_bound_sdg ~n:1000 ~d:2);
+  Alcotest.(check (float 1e-9))
+    "pdg bound" (1000. *. exp (-4.) /. 18.)
+    (Isolated.paper_bound_pdg ~n:1000 ~d:2)
+
+let test_sdg_has_isolated_nodes () =
+  (* Lemma 3.5 at d = 2: at least n e^{-4} / 6 ~ 0.3% isolated. *)
+  let n = 3000 and d = 2 in
+  let m = Streaming_model.create ~rng:(Prng.create 11) ~n ~d ~regenerate:false () in
+  Streaming_model.warm_up m;
+  let c = Isolated.census_streaming m in
+  check_bool "isolated count >= paper bound" true
+    (float_of_int c.isolated_now >= Isolated.paper_bound_sdg ~n ~d);
+  check_bool "most tracked isolated stay so" true (c.forever_frac_of_tracked > 0.3)
+
+let test_sdgr_has_no_isolated_nodes () =
+  let m = Streaming_model.create ~rng:(Prng.create 13) ~n:500 ~d:3 ~regenerate:true () in
+  Streaming_model.warm_up m;
+  let g = Streaming_model.graph m in
+  let isolated = ref 0 in
+  Churnet_graph.Dyngraph.iter_alive g (fun id ->
+      if Churnet_graph.Dyngraph.degree g id = 0 then incr isolated);
+  check_int "no isolated nodes with regeneration" 0 !isolated
+
+let test_pdg_has_isolated_nodes () =
+  let n = 2000 and d = 2 in
+  let m = Poisson_model.create ~rng:(Prng.create 17) ~n ~d ~regenerate:false () in
+  Poisson_model.warm_up m;
+  let c = Isolated.census_poisson ~max_track:300 m in
+  check_bool "isolated count >= paper bound" true
+    (float_of_int c.isolated_now >= Isolated.paper_bound_pdg ~n ~d)
+
+let test_census_fields_consistent () =
+  let m = Streaming_model.create ~rng:(Prng.create 19) ~n:800 ~d:2 ~regenerate:false () in
+  Streaming_model.warm_up m;
+  let c = Isolated.census_streaming ~max_track:50 m in
+  check_bool "tracked bounded" true (c.tracked <= 50);
+  check_bool "forever <= tracked" true (c.isolated_forever <= c.tracked);
+  Alcotest.(check (float 1e-9))
+    "frac consistent"
+    (float_of_int c.isolated_now /. float_of_int c.population)
+    c.isolated_frac
+
+(* --- Edge probabilities --- *)
+
+let test_edge_prob_streaming_uniform_for_sdg () =
+  (* Without regeneration every request is uniform at birth: both p_older
+     and p_younger stay near 1/(n-1). *)
+  let n = 600 in
+  let buckets =
+    Edge_prob.measure_streaming ~rng:(Prng.create 23) ~n ~d:4 ~regenerate:false
+      ~snapshots:20 ~buckets:4 ()
+  in
+  Array.iter
+    (fun (b : Edge_prob.bucket) ->
+      if b.samples > 200 && not (Float.is_nan b.p_older) then begin
+        let ratio = b.p_older /. (1. /. float_of_int (n - 1)) in
+        check_bool
+          (Printf.sprintf "SDG p_older ratio sane (ages %d-%d): %f" b.age_lo b.age_hi
+             ratio)
+          true
+          (ratio > 0.6 && ratio < 1.6)
+      end)
+    buckets
+
+let test_edge_prob_sdgr_increases_with_age () =
+  (* Lemma 3.14: p_older grows like (1+1/(n-1))^k — monotone in age. *)
+  let n = 600 in
+  let buckets =
+    Edge_prob.measure_streaming ~rng:(Prng.create 29) ~n ~d:4 ~regenerate:true
+      ~snapshots:30 ~buckets:3 ()
+  in
+  let valid = Array.to_list buckets |> List.filter (fun (b : Edge_prob.bucket) -> b.samples > 500) in
+  (match valid with
+  | first :: _ :: _ ->
+      let last = List.nth valid (List.length valid - 1) in
+      check_bool "p_older increases with age" true (last.p_older > first.p_older *. 1.05)
+  | _ -> Alcotest.fail "not enough populated buckets");
+  (* And matches the prediction within a factor. *)
+  List.iter
+    (fun (b : Edge_prob.bucket) ->
+      let ratio = b.p_older /. b.predicted_older in
+      check_bool "prediction within 40%" true (ratio > 0.6 && ratio < 1.4))
+    valid
+
+let test_edge_prob_younger_bounded () =
+  let n = 600 in
+  let buckets =
+    Edge_prob.measure_streaming ~rng:(Prng.create 31) ~n ~d:4 ~regenerate:true
+      ~snapshots:20 ~buckets:3 ()
+  in
+  Array.iter
+    (fun (b : Edge_prob.bucket) ->
+      if b.samples > 500 && not (Float.is_nan b.p_younger) then
+        check_bool "p_younger <= bound * 1.25" true (b.p_younger <= b.bound_younger *. 1.25))
+    buckets
+
+let test_edge_prob_poisson_runs () =
+  let buckets =
+    Edge_prob.measure_poisson ~rng:(Prng.create 37) ~n:300 ~d:4 ~regenerate:true
+      ~snapshots:5 ~buckets:4 ()
+  in
+  check_int "bucket count" 4 (Array.length buckets);
+  let populated = Array.exists (fun (b : Edge_prob.bucket) -> b.samples > 0) buckets in
+  check_bool "some buckets populated" true populated
+
+let suite =
+  [
+    ("onion validates args", `Quick, test_onion_validates_args);
+    ("onion layers consistent", `Quick, test_onion_layers_consistent);
+    ("onion class bounds", `Quick, test_onion_members_within_classes);
+    ("onion succeeds for large d", `Slow, test_onion_succeeds_for_large_d);
+    ("onion monotone in d", `Slow, test_onion_fails_more_for_small_d);
+    ("onion growth (Claim 3.10)", `Slow, test_onion_growth_factor_scales_with_d);
+    ("onion deterministic", `Quick, test_onion_deterministic_with_seed);
+    ("paper bounds", `Quick, test_paper_bounds);
+    ("SDG isolated (Lemma 3.5)", `Slow, test_sdg_has_isolated_nodes);
+    ("SDGR no isolated", `Quick, test_sdgr_has_no_isolated_nodes);
+    ("PDG isolated (Lemma 4.10)", `Slow, test_pdg_has_isolated_nodes);
+    ("census fields", `Quick, test_census_fields_consistent);
+    ("edge prob SDG uniform", `Slow, test_edge_prob_streaming_uniform_for_sdg);
+    ("edge prob SDGR age growth (Lemma 3.14)", `Slow, test_edge_prob_sdgr_increases_with_age);
+    ("edge prob younger bounded", `Slow, test_edge_prob_younger_bounded);
+    ("edge prob poisson runs", `Slow, test_edge_prob_poisson_runs);
+  ]
+
+(* --- Extended (Poisson) onion-skin, Section 7.2.4 --- *)
+
+let test_onion_poisson_validates_args () =
+  Alcotest.check_raises "odd d"
+    (Invalid_argument "Onion.run_poisson: d must be even and >= 2") (fun () ->
+      ignore (Onion.run_poisson ~n:100 ~d:3 ()))
+
+let test_onion_poisson_layers_consistent () =
+  let r = Onion.run_poisson ~rng:(Prng.create 41) ~n:2000 ~d:40 () in
+  check_int "young total" r.total_young (Array.fold_left ( + ) 0 r.y_layer_sizes);
+  check_int "old total" r.total_old (Array.fold_left ( + ) 0 r.o_layer_sizes);
+  check_bool "bounded by classes" true
+    (r.total_young <= 1000 && r.total_old <= 1000)
+
+let test_onion_poisson_succeeds () =
+  let p =
+    Onion.success_probability_poisson ~rng:(Prng.create 43) ~n:3000 ~d:64 ~trials:15 ()
+  in
+  check_bool "mostly succeeds" true (p >= 0.8)
+
+let test_onion_poisson_deterministic () =
+  let a = Onion.run_poisson ~rng:(Prng.create 47) ~n:1000 ~d:16 () in
+  let b = Onion.run_poisson ~rng:(Prng.create 47) ~n:1000 ~d:16 () in
+  check_int "same young" a.total_young b.total_young;
+  check_int "same old" a.total_old b.total_old
+
+let poisson_suite =
+  [
+    ("onion poisson args", `Quick, test_onion_poisson_validates_args);
+    ("onion poisson layers", `Quick, test_onion_poisson_layers_consistent);
+    ("onion poisson succeeds", `Slow, test_onion_poisson_succeeds);
+    ("onion poisson deterministic", `Quick, test_onion_poisson_deterministic);
+  ]
+
+let suite = suite @ poisson_suite

@@ -1,0 +1,86 @@
+(* Differential testing: Dyngraph (optimized, slot-based) vs
+   Reference_graph (naive, list-based) on identical operation scripts and
+   identical PRNG streams.  Any divergence in the resulting topology is a
+   bug in one of the two edge-bookkeeping implementations. *)
+
+module Dyngraph = Churnet_graph.Dyngraph
+module Snapshot = Churnet_graph.Snapshot
+module Prng = Churnet_util.Prng
+
+let check_bool = Alcotest.(check bool)
+
+let snapshots_equal a b =
+  Snapshot.n a = Snapshot.n b
+  && Snapshot.ids a = Snapshot.ids b
+  &&
+  let ok = ref true in
+  for i = 0 to Snapshot.n a - 1 do
+    if Snapshot.neighbors a i <> Snapshot.neighbors b i then ok := false;
+    if Snapshot.birth_of_index a i <> Snapshot.birth_of_index b i then ok := false
+  done;
+  !ok
+
+(* Drive both implementations with the same script.  Kills are chosen by
+   a third rng over the *sorted* alive-id list, so the graphs' internal
+   rngs are consumed by birth sampling only — identically, as long as
+   both maintain the same dense-array order. *)
+let run_pair ~seed ~script =
+  let g = Dyngraph.create ~rng:(Prng.create seed) ~d:3 ~regenerate:false () in
+  let r = Reference_graph.create ~rng:(Prng.create seed) ~d:3 in
+  let chooser = Prng.create (seed + 1000) in
+  List.iteri
+    (fun i kill ->
+      if kill && Dyngraph.alive_count g > 1 then begin
+        let ids = Dyngraph.alive_ids g in
+        Array.sort compare ids;
+        let victim = ids.(Prng.int chooser (Array.length ids)) in
+        Dyngraph.kill g victim;
+        Reference_graph.kill r victim
+      end
+      else begin
+        let a = Dyngraph.add_node g ~birth:i in
+        let b = Reference_graph.add_node r ~birth:i in
+        Alcotest.(check int) "same id allocated" a b
+      end)
+    script;
+  (g, r)
+
+let test_pure_births () =
+  let script = List.init 60 (fun _ -> false) in
+  let g, r = run_pair ~seed:11 ~script in
+  check_bool "equal after births" true
+    (snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r))
+
+let test_mixed_script () =
+  let rng = Prng.create 5 in
+  let script = List.init 250 (fun _ -> Prng.bernoulli rng 0.4) in
+  let g, r = run_pair ~seed:13 ~script in
+  check_bool "equal after mixed churn" true
+    (snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r))
+
+let test_heavy_deaths () =
+  let rng = Prng.create 6 in
+  (* Long birth phase then a death-heavy phase. *)
+  let script =
+    List.init 80 (fun _ -> false) @ List.init 200 (fun _ -> Prng.bernoulli rng 0.7)
+  in
+  let g, r = run_pair ~seed:17 ~script in
+  check_bool "equal after heavy deaths" true
+    (snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r))
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"dyngraph == reference oracle on random scripts" ~count:60
+      QCheck.(pair small_int (list_of_size (Gen.int_range 10 150) bool))
+      (fun (seed, script) ->
+        let g, r = run_pair ~seed ~script in
+        snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r));
+  ]
+
+let suite =
+  [
+    ("pure births", `Quick, test_pure_births);
+    ("mixed churn", `Quick, test_mixed_script);
+    ("heavy deaths", `Quick, test_heavy_deaths);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props

@@ -1,0 +1,155 @@
+open Churnet_util
+
+let check_bool = Alcotest.(check bool)
+let close ?(eps = 1e-9) msg a b = check_bool msg true (Float.abs (a -. b) < eps)
+
+let sample_stats f count =
+  let acc = Stats.Acc.create () in
+  for _ = 1 to count do
+    Stats.Acc.add acc (f ())
+  done;
+  acc
+
+let test_exponential_mean () =
+  let rng = Prng.create 101 in
+  let acc = sample_stats (fun () -> Dist.exponential rng 2.0) 100_000 in
+  check_bool "mean near 1/2" true (Float.abs (Stats.Acc.mean acc -. 0.5) < 0.01)
+
+let test_exponential_positive () =
+  let rng = Prng.create 103 in
+  for _ = 1 to 10_000 do
+    check_bool "positive" true (Dist.exponential rng 0.3 >= 0.)
+  done
+
+let test_exponential_memoryless_tail () =
+  (* P(X > 1) should be e^{-lambda}. *)
+  let rng = Prng.create 107 in
+  let lambda = 1.5 in
+  let hits = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    if Dist.exponential rng lambda > 1.0 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int trials in
+  check_bool "tail matches" true (Float.abs (frac -. exp (-.lambda)) < 0.01)
+
+let test_exponential_invalid () =
+  let rng = Prng.create 109 in
+  Alcotest.check_raises "lambda <= 0" (Invalid_argument "Dist.exponential: lambda <= 0")
+    (fun () -> ignore (Dist.exponential rng 0.))
+
+let test_poisson_mean_small () =
+  let rng = Prng.create 113 in
+  let acc = sample_stats (fun () -> float_of_int (Dist.poisson rng 3.5)) 100_000 in
+  check_bool "mean near 3.5" true (Float.abs (Stats.Acc.mean acc -. 3.5) < 0.05)
+
+let test_poisson_variance_small () =
+  let rng = Prng.create 127 in
+  let acc = sample_stats (fun () -> float_of_int (Dist.poisson rng 4.0)) 100_000 in
+  check_bool "variance near mean" true (Float.abs (Stats.Acc.variance acc -. 4.0) < 0.15)
+
+let test_poisson_mean_large () =
+  let rng = Prng.create 131 in
+  let acc = sample_stats (fun () -> float_of_int (Dist.poisson rng 120.)) 20_000 in
+  check_bool "large mean near 120" true (Float.abs (Stats.Acc.mean acc -. 120.) < 1.0)
+
+let test_poisson_zero_mean () =
+  let rng = Prng.create 137 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "Poisson(0) = 0" 0 (Dist.poisson rng 0.)
+  done
+
+let test_poisson_pmf_sums_to_one () =
+  let total = ref 0. in
+  for k = 0 to 60 do
+    total := !total +. Dist.poisson_pmf 5.0 k
+  done;
+  close ~eps:1e-9 "pmf sums to 1" 1.0 !total
+
+let test_poisson_pmf_known_value () =
+  (* P(X=0 | mean=2) = e^-2 *)
+  close ~eps:1e-12 "pmf(2,0)" (exp (-2.)) (Dist.poisson_pmf 2.0 0)
+
+let test_geometric_mean () =
+  let rng = Prng.create 139 in
+  let p = 0.25 in
+  let acc = sample_stats (fun () -> float_of_int (Dist.geometric rng p)) 100_000 in
+  (* failures-before-success mean = (1-p)/p = 3 *)
+  check_bool "mean near 3" true (Float.abs (Stats.Acc.mean acc -. 3.0) < 0.05)
+
+let test_geometric_p_one () =
+  let rng = Prng.create 149 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 gives 0" 0 (Dist.geometric rng 1.0)
+  done
+
+let test_binomial_mean () =
+  let rng = Prng.create 151 in
+  let acc = sample_stats (fun () -> float_of_int (Dist.binomial rng 100 0.3)) 50_000 in
+  check_bool "mean near 30" true (Float.abs (Stats.Acc.mean acc -. 30.) < 0.2)
+
+let test_binomial_extremes () =
+  let rng = Prng.create 157 in
+  Alcotest.(check int) "p=0" 0 (Dist.binomial rng 50 0.);
+  Alcotest.(check int) "p=1" 50 (Dist.binomial rng 50 1.)
+
+let test_binomial_bounds () =
+  let rng = Prng.create 163 in
+  for _ = 1 to 5000 do
+    let v = Dist.binomial rng 20 0.5 in
+    check_bool "in [0,20]" true (v >= 0 && v <= 20)
+  done
+
+let test_binomial_small_np_path () =
+  let rng = Prng.create 167 in
+  (* n*p < 32 triggers the waiting-time method *)
+  let acc = sample_stats (fun () -> float_of_int (Dist.binomial rng 1000 0.01)) 50_000 in
+  check_bool "waiting-time mean near 10" true (Float.abs (Stats.Acc.mean acc -. 10.) < 0.15)
+
+let test_std_normal_moments () =
+  let rng = Prng.create 173 in
+  let acc = sample_stats (fun () -> Dist.std_normal rng) 100_000 in
+  check_bool "mean near 0" true (Float.abs (Stats.Acc.mean acc) < 0.02);
+  check_bool "variance near 1" true (Float.abs (Stats.Acc.variance acc -. 1.) < 0.03)
+
+let test_log_factorial_small () =
+  close ~eps:1e-12 "0!" 0. (Dist.log_factorial 0);
+  close ~eps:1e-12 "1!" 0. (Dist.log_factorial 1);
+  close ~eps:1e-9 "5!" (log 120.) (Dist.log_factorial 5);
+  close ~eps:1e-6 "20!" (log 2.43290200817664e18) (Dist.log_factorial 20)
+
+let test_log_factorial_stirling_consistency () =
+  (* The table path at 255 and the Stirling path at 256 must agree through
+     the recurrence ln(256!) = ln(255!) + ln 256. *)
+  let lhs = Dist.log_factorial 256 in
+  let rhs = Dist.log_factorial 255 +. log 256. in
+  close ~eps:1e-6 "table/Stirling junction" lhs rhs
+
+let test_exponential_pdf () =
+  close ~eps:1e-12 "pdf at 0" 2.0 (Dist.exponential_pdf 2.0 0.);
+  close ~eps:1e-12 "pdf negative x" 0. (Dist.exponential_pdf 2.0 (-1.));
+  close ~eps:1e-12 "pdf at 1" (2.0 *. exp (-2.)) (Dist.exponential_pdf 2.0 1.)
+
+let suite =
+  [
+    ("exponential mean", `Quick, test_exponential_mean);
+    ("exponential positive", `Quick, test_exponential_positive);
+    ("exponential tail", `Quick, test_exponential_memoryless_tail);
+    ("exponential invalid", `Quick, test_exponential_invalid);
+    ("poisson mean (small)", `Quick, test_poisson_mean_small);
+    ("poisson variance", `Quick, test_poisson_variance_small);
+    ("poisson mean (large)", `Quick, test_poisson_mean_large);
+    ("poisson zero mean", `Quick, test_poisson_zero_mean);
+    ("poisson pmf sums", `Quick, test_poisson_pmf_sums_to_one);
+    ("poisson pmf known", `Quick, test_poisson_pmf_known_value);
+    ("geometric mean", `Quick, test_geometric_mean);
+    ("geometric p=1", `Quick, test_geometric_p_one);
+    ("binomial mean", `Quick, test_binomial_mean);
+    ("binomial extremes", `Quick, test_binomial_extremes);
+    ("binomial bounds", `Quick, test_binomial_bounds);
+    ("binomial small np", `Quick, test_binomial_small_np_path);
+    ("std normal moments", `Quick, test_std_normal_moments);
+    ("log factorial small", `Quick, test_log_factorial_small);
+    ("log factorial junction", `Quick, test_log_factorial_stirling_consistency);
+    ("exponential pdf", `Quick, test_exponential_pdf);
+  ]

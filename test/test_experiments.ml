@@ -1,0 +1,87 @@
+(* Integration tests: the whole experiment registry at smoke scale, the
+   report rendering machinery, and the Scale helpers. *)
+module Registry = Churnet_experiments.Registry
+module Report = Churnet_experiments.Report
+module Scale = Churnet_experiments.Scale
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_scale_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Scale.to_string s))
+        (Option.map Scale.to_string (Scale.of_string (Scale.to_string s))))
+    [ Scale.Smoke; Scale.Standard; Scale.Full ];
+  check_bool "unknown" true (Scale.of_string "banana" = None)
+
+let test_scale_pick () =
+  check_int "picks smoke" 1 (Scale.pick Scale.Smoke ~smoke:1 ~standard:2 ~full:3);
+  check_int "picks standard" 2 (Scale.pick Scale.Standard ~smoke:1 ~standard:2 ~full:3);
+  check_int "picks full" 3 (Scale.pick Scale.Full ~smoke:1 ~standard:2 ~full:3)
+
+let test_registry_lookup () =
+  check_bool "finds E1" true (Registry.find "E1" <> None);
+  check_bool "case insensitive" true (Registry.find "e10" <> None);
+  check_bool "unknown" true (Registry.find "Z9" = None);
+  check_int "twelve table1 cells" 12 (List.length Registry.table1);
+  check_bool "figures present" true (List.length Registry.figures >= 11);
+  check_bool "extensions present" true (List.length Registry.extensions >= 4);
+  check_bool "theory present" true (List.length Registry.theory >= 1)
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun (e : Registry.entry) -> e.id) Registry.all in
+  check_int "no duplicate ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_report_rendering () =
+  let r =
+    Report.make ~id:"Z0" ~title:"demo"
+      [
+        Report.check ~claim:"c" ~expected:"e" ~measured:"m" ~holds:true;
+        Report.check ~claim:"c2" ~expected:"e2" ~measured:"m2" ~holds:false;
+      ]
+  in
+  check_bool "not all hold" false (Report.all_hold r);
+  let s = Report.render r in
+  let contains needle hay =
+    let found = ref false in
+    for i = 0 to String.length hay - String.length needle do
+      if String.sub hay i (String.length needle) = needle then found := true
+    done;
+    !found
+  in
+  check_bool "has PASS" true (contains "PASS" s);
+  check_bool "has FAIL" true (contains "FAIL" s);
+  Alcotest.(check (list string)) "summary row" [ "Z0"; "demo"; "1/2 checks hold" ]
+    (Report.summary_row r)
+
+(* The heavyweight one: every registered experiment must run at smoke
+   scale and every paper-direction check must hold (fixed seed). *)
+let test_every_experiment_smoke () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let r = e.run ~seed:2024 ~scale:Scale.Smoke in
+      check_bool (Printf.sprintf "%s id matches" e.id) true (r.Report.id = e.id);
+      check_bool
+        (Printf.sprintf "%s all checks hold at smoke scale" e.id)
+        true (Report.all_hold r))
+    Registry.all
+
+let test_run_all_subset () =
+  let reports = Registry.run_all ~ids:[ "E12"; "T1" ] ~seed:7 ~scale:Scale.Smoke () in
+  check_int "two reports" 2 (List.length reports);
+  let summary = Registry.summary reports in
+  check_bool "summary renders" true (String.length (Churnet_util.Table.render summary) > 0)
+
+let suite =
+  [
+    ("scale roundtrip", `Quick, test_scale_roundtrip);
+    ("scale pick", `Quick, test_scale_pick);
+    ("registry lookup", `Quick, test_registry_lookup);
+    ("registry ids unique", `Quick, test_registry_ids_unique);
+    ("report rendering", `Quick, test_report_rendering);
+    ("every experiment at smoke scale", `Slow, test_every_experiment_smoke);
+    ("run_all subset", `Quick, test_run_all_subset);
+  ]

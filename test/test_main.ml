@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "churnet"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("stats", Test_stats.suite);
+      ("util-structures", Test_util_structures.suite);
+      ("graph", Test_graph.suite);
+      ("churn", Test_churn.suite);
+      ("models", Test_models.suite);
+      ("flood", Test_flood.suite);
+      ("core-analysis", Test_core_analysis.suite);
+      ("expansion", Test_expansion.suite);
+      ("p2p", Test_p2p.suite);
+      ("extensions", Test_extensions.suite);
+      ("bounds", Test_bounds.suite);
+      ("event-log", Test_event_log.suite);
+      ("experiments", Test_experiments.suite);
+      ("differential", Test_differential.suite);
+    ]

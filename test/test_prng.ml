@@ -1,0 +1,219 @@
+open Churnet_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let equal = ref true in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then equal := false
+  done;
+  check_bool "different seeds differ" false !equal
+
+let test_copy_preserves_stream () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy equals original" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independence () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check_bool "split streams differ" true (!same < 2)
+
+let test_int_range () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bound_one () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 100 do
+    check_int "bound 1 gives 0" 0 (Prng.int rng 1)
+  done
+
+let test_int_invalid () =
+  let rng = Prng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-3) 9 in
+    check_bool "in inclusive range" true (v >= -3 && v <= 9)
+  done
+
+let test_unit_float_range () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Prng.unit_float rng in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_uniform_mean () =
+  let rng = Prng.create 13 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 50_000 do
+    Stats.Acc.add acc (Prng.unit_float rng)
+  done;
+  check_bool "mean near 0.5" true (Float.abs (Stats.Acc.mean acc -. 0.5) < 0.01)
+
+let test_int_uniformity_chi_square () =
+  let rng = Prng.create 17 in
+  let k = 10 in
+  let counts = Array.make k 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Prng.int rng k in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let chi = Stats.chi_square_uniform counts in
+  (* 9 degrees of freedom: p=0.001 critical value is 27.9. *)
+  check_bool "chi-square sane" true (chi < 27.9)
+
+let test_bool_balance () =
+  let rng = Prng.create 19 in
+  let heads = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Prng.bool rng then incr heads
+  done;
+  let frac = float_of_int !heads /. float_of_int trials in
+  check_bool "fair coin" true (Float.abs (frac -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Prng.bernoulli rng 0.);
+    check_bool "p=1 always" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 29 in
+  let hits = ref 0 in
+  for _ = 1 to 50_000 do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. 50_000. in
+  check_bool "rate near 0.3" true (Float.abs (frac -. 0.3) < 0.01)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create 31 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_moves_elements () =
+  let rng = Prng.create 37 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle rng a;
+  check_bool "not identity" true (a <> Array.init 100 Fun.id)
+
+let test_swr_distinct () =
+  let rng = Prng.create 41 in
+  for _ = 1 to 50 do
+    let sample = Prng.sample_without_replacement rng 20 100 in
+    check_int "k elements" 20 (Array.length sample);
+    let sorted = Array.copy sample in
+    Array.sort compare sorted;
+    for i = 1 to 19 do
+      check_bool "distinct" true (sorted.(i) <> sorted.(i - 1))
+    done;
+    Array.iter (fun v -> check_bool "in range" true (v >= 0 && v < 100)) sample
+  done
+
+let test_swr_full () =
+  let rng = Prng.create 43 in
+  let sample = Prng.sample_without_replacement rng 10 10 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "all of 0..9" (Array.init 10 Fun.id) sorted
+
+let test_swr_dense_and_sparse_paths () =
+  let rng = Prng.create 47 in
+  (* dense path: k*3 >= n *)
+  let dense = Prng.sample_without_replacement rng 40 100 in
+  check_int "dense size" 40 (Array.length dense);
+  (* sparse path: k*3 < n *)
+  let sparse = Prng.sample_without_replacement rng 5 1000 in
+  check_int "sparse size" 5 (Array.length sparse)
+
+let test_choose () =
+  let rng = Prng.create 53 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose rng a in
+    check_bool "member" true (Array.mem v a)
+  done
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"int always in bound" ~count:500
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Prng.create seed in
+        let v = Prng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"int_in always inclusive" ~count:500
+      QCheck.(triple small_int (int_range (-100) 100) (int_range 0 200))
+      (fun (seed, lo, span) ->
+        let rng = Prng.create seed in
+        let v = Prng.int_in rng lo (lo + span) in
+        v >= lo && v <= lo + span);
+    QCheck.Test.make ~name:"sample_without_replacement distinct" ~count:200
+      QCheck.(pair small_int (int_range 1 50))
+      (fun (seed, n) ->
+        let rng = Prng.create seed in
+        let k = 1 + (seed mod n) in
+        let s = Prng.sample_without_replacement rng k n in
+        let sorted = Array.copy s in
+        Array.sort compare sorted;
+        let distinct = ref true in
+        for i = 1 to k - 1 do
+          if sorted.(i) = sorted.(i - 1) then distinct := false
+        done;
+        !distinct && Array.length s = k);
+  ]
+
+let suite =
+  [
+    ("determinism", `Quick, test_determinism);
+    ("different seeds", `Quick, test_different_seeds);
+    ("copy preserves stream", `Quick, test_copy_preserves_stream);
+    ("split independence", `Quick, test_split_independence);
+    ("int range", `Quick, test_int_range);
+    ("int bound one", `Quick, test_int_bound_one);
+    ("int invalid bound", `Quick, test_int_invalid);
+    ("int_in range", `Quick, test_int_in_range);
+    ("unit_float range", `Quick, test_unit_float_range);
+    ("uniform mean", `Quick, test_uniform_mean);
+    ("chi-square uniformity", `Quick, test_int_uniformity_chi_square);
+    ("bool balance", `Quick, test_bool_balance);
+    ("bernoulli extremes", `Quick, test_bernoulli_extremes);
+    ("bernoulli rate", `Quick, test_bernoulli_rate);
+    ("shuffle permutation", `Quick, test_shuffle_is_permutation);
+    ("shuffle moves", `Quick, test_shuffle_moves_elements);
+    ("sample w/o replacement distinct", `Quick, test_swr_distinct);
+    ("sample w/o replacement full", `Quick, test_swr_full);
+    ("sample paths", `Quick, test_swr_dense_and_sparse_paths);
+    ("choose membership", `Quick, test_choose);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props

@@ -1,0 +1,326 @@
+(* Tests for Kl, Heap, Union_find, Bitset, Table, Asciiplot. *)
+open Churnet_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let close ?(eps = 1e-9) msg a b = check_bool msg true (Float.abs (a -. b) < eps)
+
+(* --- Kl --- *)
+
+let test_entropy_uniform () =
+  close "H(uniform 4) = ln 4" (log 4.) (Kl.entropy [| 0.25; 0.25; 0.25; 0.25 |])
+
+let test_entropy_point_mass () = close "H(delta) = 0" 0. (Kl.entropy [| 1.; 0.; 0. |])
+
+let test_kl_self_zero () =
+  let p = [| 0.2; 0.3; 0.5 |] in
+  close "KL(p||p) = 0" 0. (Kl.kl_divergence p p)
+
+let test_kl_known_value () =
+  let p = [| 0.5; 0.5 |] and q = [| 0.25; 0.75 |] in
+  let expected = (0.5 *. log (0.5 /. 0.25)) +. (0.5 *. log (0.5 /. 0.75)) in
+  close "KL known" expected (Kl.kl_divergence p q)
+
+let test_kl_infinite_when_unsupported () =
+  check_bool "infinite" true
+    (Float.is_integer (Kl.kl_divergence [| 1.; 0. |] [| 0.; 1. |]) = false
+    || Kl.kl_divergence [| 1.; 0. |] [| 0.; 1. |] = infinity)
+
+let test_kl_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Kl: length mismatch") (fun () ->
+      ignore (Kl.kl_divergence [| 1. |] [| 0.5; 0.5 |]))
+
+let test_normalize () =
+  let p = Kl.normalize [| 2.; 2.; 4. |] in
+  close "sums to one" 1. (Array.fold_left ( +. ) 0. p);
+  close "ratio preserved" 0.5 p.(2)
+
+let test_of_counts () =
+  let p = Kl.of_counts [| 1; 3 |] in
+  close "first" 0.25 p.(0);
+  close "second" 0.75 p.(1)
+
+let test_total_variation () =
+  close "TV identical" 0. (Kl.total_variation [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  close "TV disjoint" 1. (Kl.total_variation [| 1.; 0. |] [| 0.; 1. |])
+
+let kl_qcheck =
+  let dist_gen =
+    QCheck.map
+      (fun xs ->
+        let a = Array.of_list (List.map (fun x -> Float.abs x +. 0.01) xs) in
+        Kl.normalize a)
+      QCheck.(list_of_size (Gen.int_range 2 10) (float_range 0. 10.))
+  in
+  [
+    QCheck.Test.make ~name:"KL non-negative (Theorem A.3)" ~count:300
+      QCheck.(pair dist_gen dist_gen)
+      (fun (p, q) ->
+        if Array.length p <> Array.length q then QCheck.assume_fail ()
+        else Kl.kl_divergence p q >= -1e-9);
+    QCheck.Test.make ~name:"TV symmetric and bounded" ~count:300
+      QCheck.(pair dist_gen dist_gen)
+      (fun (p, q) ->
+        if Array.length p <> Array.length q then QCheck.assume_fail ()
+        else begin
+          let tv = Kl.total_variation p q in
+          Float.abs (tv -. Kl.total_variation q p) < 1e-9 && tv >= 0. && tv <= 1. +. 1e-9
+        end);
+  ]
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k k) [ 5.; 1.; 4.; 2.; 3. ];
+  let popped = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] popped
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop h = None);
+  check_bool "peek none" true (Heap.peek h = None)
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Heap.push h 2. "b";
+  Heap.push h 1. "a";
+  check_bool "peek min" true (Heap.peek h = Some (1., "a"));
+  check_int "peek does not remove" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1. 1;
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let test_heap_growth () =
+  let h = Heap.create () in
+  for i = 1000 downto 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  check_int "length" 1000 (Heap.length h);
+  let prev = ref neg_infinity in
+  let sorted = ref true in
+  for _ = 1 to 1000 do
+    let k, _ = Option.get (Heap.pop h) in
+    if k < !prev then sorted := false;
+    prev := k
+  done;
+  check_bool "1000 items sorted" true !sorted
+
+let heap_qcheck =
+  [
+    QCheck.Test.make ~name:"heap pops sorted" ~count:300
+      QCheck.(list (float_range (-1000.) 1000.))
+      (fun keys ->
+        let h = Heap.create () in
+        List.iter (fun k -> Heap.push h k ()) keys;
+        let rec drain prev =
+          match Heap.pop h with
+          | None -> true
+          | Some (k, ()) -> if k < prev then false else drain k
+        in
+        drain neg_infinity);
+  ]
+
+(* --- Union_find --- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 5 in
+  check_int "initial count" 5 (Union_find.count uf);
+  check_bool "union new" true (Union_find.union uf 0 1);
+  check_bool "union repeat" false (Union_find.union uf 0 1);
+  check_bool "same" true (Union_find.same uf 0 1);
+  check_bool "not same" false (Union_find.same uf 0 2);
+  check_int "count after union" 4 (Union_find.count uf)
+
+let test_uf_transitivity () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  check_bool "transitive" true (Union_find.same uf 0 2)
+
+let test_uf_component_sizes () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  let sizes = List.sort compare (Union_find.component_sizes uf) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2; 2 ] sizes
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  check_int "capacity" 100 (Bitset.capacity b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  check_bool "mem 0" true (Bitset.mem b 0);
+  check_bool "mem 63" true (Bitset.mem b 63);
+  check_bool "not mem 50" false (Bitset.mem b 50);
+  check_int "cardinal" 3 (Bitset.cardinal b);
+  Bitset.add b 0;
+  check_int "idempotent add" 3 (Bitset.cardinal b);
+  Bitset.remove b 0;
+  check_int "after remove" 2 (Bitset.cardinal b);
+  Bitset.remove b 0;
+  check_int "idempotent remove" 2 (Bitset.cardinal b)
+
+let test_bitset_iter () =
+  let b = Bitset.create 50 in
+  List.iter (Bitset.add b) [ 3; 17; 44 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "iter ascending" [ 3; 17; 44 ] (List.rev !seen)
+
+let test_bitset_clear () =
+  let b = Bitset.create 10 in
+  Bitset.add b 5;
+  Bitset.clear b;
+  check_int "cleared" 0 (Bitset.cardinal b);
+  check_bool "not mem" false (Bitset.mem b 5)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.add b 10)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.render t in
+  check_bool "contains header" true
+    (String.length s > 0
+    && (let re_ok = ref false in
+        String.split_on_char '\n' s
+        |> List.iter (fun line ->
+               if String.length line > 0 && String.contains line 'a' then re_ok := true);
+        !re_ok))
+
+let test_table_csv () =
+  let t = Table.create [ "x"; "y" ] in
+  Table.add_row t [ "hello"; "a,b" ];
+  let csv = Table.to_csv t in
+  let contains needle hay =
+    let found = ref false in
+    for i = 0 to String.length hay - String.length needle do
+      if String.sub hay i (String.length needle) = needle then found := true
+    done;
+    !found
+  in
+  check_bool "quoted comma cell" true (contains "\"a,b\"" csv);
+  check_bool "header line" true (contains "x,y" csv)
+
+let test_table_fmt () =
+  Alcotest.(check string) "float" "3.1416" (Table.fmt_float ~digits:4 3.14159265);
+  Alcotest.(check string) "pct" "50.00%" (Table.fmt_pct 0.5);
+  Alcotest.(check string) "nan" "nan" (Table.fmt_float nan)
+
+(* --- Asciiplot --- *)
+
+let test_plot_renders () =
+  let series =
+    [ Asciiplot.{ label = "s"; points = Array.init 10 (fun i -> (float_of_int i, float_of_int (i * i))) } ]
+  in
+  let s = Asciiplot.plot ~title:"t" ~xlabel:"x" ~ylabel:"y" series in
+  check_bool "non-empty" true (String.length s > 100)
+
+let test_plot_empty () =
+  let s = Asciiplot.plot ~title:"t" ~xlabel:"x" ~ylabel:"y" [] in
+  check_bool "no data message" true
+    (let needle = "(no data)" in
+     let found = ref false in
+     for i = 0 to String.length s - String.length needle do
+       if String.sub s i (String.length needle) = needle then found := true
+     done;
+     !found)
+
+let test_plot_log_drops_nonpositive () =
+  let series = [ Asciiplot.{ label = "s"; points = [| (0., 1.); (10., 100.) |] } ] in
+  let s = Asciiplot.plot ~logx:true ~title:"t" ~xlabel:"x" ~ylabel:"y" series in
+  check_bool "renders" true (String.length s > 0)
+
+let test_bar () =
+  let s = Asciiplot.bar ~title:"b" [ ("one", 1.); ("two", 2.) ] in
+  check_bool "renders bars" true (String.contains s '#')
+
+let suite =
+  [
+    ("entropy uniform", `Quick, test_entropy_uniform);
+    ("entropy point mass", `Quick, test_entropy_point_mass);
+    ("KL self zero", `Quick, test_kl_self_zero);
+    ("KL known value", `Quick, test_kl_known_value);
+    ("KL infinite unsupported", `Quick, test_kl_infinite_when_unsupported);
+    ("KL length mismatch", `Quick, test_kl_length_mismatch);
+    ("normalize", `Quick, test_normalize);
+    ("of_counts", `Quick, test_of_counts);
+    ("total variation", `Quick, test_total_variation);
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap empty", `Quick, test_heap_empty);
+    ("heap peek", `Quick, test_heap_peek);
+    ("heap clear", `Quick, test_heap_clear);
+    ("heap growth", `Quick, test_heap_growth);
+    ("union-find basic", `Quick, test_uf_basic);
+    ("union-find transitivity", `Quick, test_uf_transitivity);
+    ("union-find sizes", `Quick, test_uf_component_sizes);
+    ("bitset basic", `Quick, test_bitset_basic);
+    ("bitset iter", `Quick, test_bitset_iter);
+    ("bitset clear", `Quick, test_bitset_clear);
+    ("bitset bounds", `Quick, test_bitset_bounds);
+    ("table render", `Quick, test_table_render);
+    ("table csv", `Quick, test_table_csv);
+    ("table fmt", `Quick, test_table_fmt);
+    ("plot renders", `Quick, test_plot_renders);
+    ("plot empty", `Quick, test_plot_empty);
+    ("plot log scale", `Quick, test_plot_log_drops_nonpositive);
+    ("bar", `Quick, test_bar);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) (kl_qcheck @ heap_qcheck)
+
+(* --- Parallel --- *)
+
+let test_parallel_matches_sequential () =
+  let xs = Array.init 237 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "same results" (Array.map f xs) (Parallel.map ~domains:4 f xs)
+
+let test_parallel_order_preserved () =
+  let xs = Array.init 50 string_of_int in
+  let out = Parallel.map ~domains:3 (fun s -> s ^ "!") xs in
+  Alcotest.(check string) "first" "0!" out.(0);
+  Alcotest.(check string) "last" "49!" out.(49)
+
+let test_parallel_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "single" [| 7 |] (Parallel.map ~domains:4 (fun x -> x + 1) [| 6 |])
+
+let test_parallel_exception_propagates () =
+  check_bool "raises" true
+    (try
+       ignore (Parallel.map ~domains:2 (fun x -> if x = 3 then failwith "boom" else x)
+                 [| 1; 2; 3; 4 |]);
+       false
+     with Failure _ -> true)
+
+let test_parallel_init () =
+  Alcotest.(check (array int)) "init" [| 0; 2; 4; 6 |] (Parallel.init ~domains:2 4 (fun i -> 2 * i))
+
+let test_parallel_recommended () =
+  let d = Parallel.recommended_domains () in
+  check_bool "within [1,8]" true (d >= 1 && d <= 8)
+
+let suite =
+  suite
+  @ [
+      ("parallel = sequential", `Quick, test_parallel_matches_sequential);
+      ("parallel order", `Quick, test_parallel_order_preserved);
+      ("parallel empty/single", `Quick, test_parallel_empty_and_single);
+      ("parallel exceptions", `Quick, test_parallel_exception_propagates);
+      ("parallel init", `Quick, test_parallel_init);
+      ("parallel recommended", `Quick, test_parallel_recommended);
+    ]
