@@ -1,0 +1,178 @@
+(* Kernel head-to-heads for the allocation-free simulation kernels and
+   the deterministic multicore replication layer.
+
+   Part 1 (Bechamel): old-vs-new [expand_informed] — the historical
+   hashtable + list-returning-neighbors kernel (kept verbatim below as
+   the baseline) against [Flood.expand_informed] (bitset informed set +
+   allocation-free neighbor iteration).
+
+   Part 2 (wall clock): the E10 experiment (SDGR flooding completion)
+   run serially (CHURNET_DOMAINS=1) and in parallel (CHURNET_DOMAINS=4),
+   with the rendered reports compared byte-for-byte: the replication
+   layer pre-splits one PRNG per trial, so the parallel run must be
+   bit-identical to the serial one.
+
+   Scale via CHURNET_BENCH_SCALE=smoke|standard|full (default standard)
+   and CHURNET_BENCH_SEED (default 42). *)
+
+open Bechamel
+open Bechamel.Toolkit
+module Dyngraph = Churnet_graph.Dyngraph
+module Models = Churnet_core.Models
+module Flood = Churnet_core.Flood
+module Registry = Churnet_experiments.Registry
+module Report = Churnet_experiments.Report
+module Scale = Churnet_experiments.Scale
+module Prng = Churnet_util.Prng
+module Bitset = Churnet_util.Bitset
+module Intvec = Churnet_util.Intvec
+
+let scale =
+  match Sys.getenv_opt "CHURNET_BENCH_SCALE" with
+  | Some s -> (
+      match Scale.of_string s with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "bad CHURNET_BENCH_SCALE %S" s))
+  | None -> Scale.Standard
+
+let seed =
+  match Sys.getenv_opt "CHURNET_BENCH_SEED" with
+  | Some s -> int_of_string s
+  | None -> 42
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: old vs new expand_informed.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-optimization kernel, verbatim: hashtable informed set,
+   list-returning neighbor queries, a fresh [newly] list per hop. *)
+let old_expand_informed graph informed =
+  let alive = Dyngraph.alive_count graph in
+  let informed_alive = ref 0 in
+  Hashtbl.iter
+    (fun id () -> if Dyngraph.is_alive graph id then incr informed_alive)
+    informed;
+  let newly = ref [] in
+  if !informed_alive <= alive - !informed_alive then
+    Hashtbl.iter
+      (fun u () ->
+        if Dyngraph.is_alive graph u then
+          List.iter
+            (fun v -> if not (Hashtbl.mem informed v) then newly := v :: !newly)
+            (Dyngraph.neighbors graph u))
+      informed
+  else
+    Dyngraph.iter_alive graph (fun v ->
+        if not (Hashtbl.mem informed v) then
+          let touches_informed =
+            List.exists
+              (fun u -> Hashtbl.mem informed u)
+              (Dyngraph.neighbors graph v)
+          in
+          if touches_informed then newly := v :: !newly);
+  List.iter (fun v -> Hashtbl.replace informed v ()) !newly
+
+let kernel_tests () =
+  let n = 2000 and d = 8 in
+  let m = Models.create ~rng:(Prng.create 9) Models.SDGR ~n ~d in
+  Models.warm_up m;
+  let graph = Models.graph m in
+  let alive = Dyngraph.alive_ids graph in
+  (* Seed informed sets of two sizes: a sparse one (the early rounds of a
+     flood, informed-side scan) and a half-covered one (the late rounds,
+     uninformed-side scan). *)
+  let seed_set k = Array.sub alive 0 (max 1 (Array.length alive / k)) in
+  let sparse = seed_set 50 in
+  let half = seed_set 2 in
+  let informed_bs = Bitset.create n in
+  let scratch = Intvec.create ~capacity:1024 () in
+  let new_hop seed_ids () =
+    Bitset.clear informed_bs;
+    Array.iter
+      (fun id ->
+        Bitset.ensure_capacity informed_bs (id + 1);
+        Bitset.add informed_bs id)
+      seed_ids;
+    Flood.expand_informed graph informed_bs scratch;
+    ignore (Bitset.cardinal informed_bs)
+  in
+  let old_hop seed_ids () =
+    let informed = Hashtbl.create 1024 in
+    Array.iter (fun id -> Hashtbl.replace informed id ()) seed_ids;
+    old_expand_informed graph informed;
+    ignore (Hashtbl.length informed)
+  in
+  [
+    Test.make ~name:"expand sparse old (hashtbl+lists)" (Staged.stage (old_hop sparse));
+    Test.make ~name:"expand sparse new (bitset+iters)" (Staged.stage (new_hop sparse));
+    Test.make ~name:"expand half old (hashtbl+lists)" (Staged.stage (old_hop half));
+    Test.make ~name:"expand half new (bitset+iters)" (Staged.stage (new_hop half));
+  ]
+
+let run_bechamel () =
+  print_endline "==================== KERNELS (Bechamel) ====================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (kernel_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let table = Churnet_util.Table.create [ "benchmark"; "time per run" ] in
+  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some by_name ->
+      let rows =
+        Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_name []
+      in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      List.iter
+        (fun (name, ols_result) ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) ->
+                if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+                else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+                else Printf.sprintf "%.0f ns" t
+            | _ -> "n/a"
+          in
+          Churnet_util.Table.add_row table [ name; estimate ])
+        rows);
+  Churnet_util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: serial vs parallel E10, bit-identical by construction.      *)
+(* ------------------------------------------------------------------ *)
+
+let run_e10 ~domains =
+  Unix.putenv "CHURNET_DOMAINS" (string_of_int domains);
+  let entry =
+    match Registry.find "E10" with Some e -> e | None -> failwith "E10 not registered"
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = entry.Registry.run ~seed ~scale in
+  let dt = Unix.gettimeofday () -. t0 in
+  (Report.render report, dt)
+
+let run_replication () =
+  print_newline ();
+  print_endline "==================== REPLICATION (E10 serial vs parallel) ====================";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "scale %s, seed %d, %d core(s) available\n%!" (Scale.to_string scale)
+    seed cores;
+  let serial_render, serial_dt = run_e10 ~domains:1 in
+  Printf.printf "  CHURNET_DOMAINS=1: %.2fs\n%!" serial_dt;
+  let par_render, par_dt = run_e10 ~domains:4 in
+  Printf.printf "  CHURNET_DOMAINS=4: %.2fs\n%!" par_dt;
+  Printf.printf "  speedup: %.2fx%s\n" (serial_dt /. par_dt)
+    (if cores < 2 then " (single-core host: no wall-clock gain expected)" else "");
+  if String.equal serial_render par_render then
+    print_endline "  reports bit-identical across domain counts: OK"
+  else begin
+    print_endline "  MISMATCH: serial and parallel E10 reports differ!";
+    exit 1
+  end
+
+let () =
+  run_bechamel ();
+  run_replication ()

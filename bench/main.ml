@@ -32,16 +32,22 @@ let seed =
   | Some s -> int_of_string s
   | None -> 42
 
+(* Validate CHURNET_DOMAINS up front (raises on a malformed value) so a
+   typo fails the run immediately rather than at the first parallel
+   experiment.  Thanks to deterministic pre-splitting every experiment is
+   bit-identical whatever this is set to. *)
+let domains = Churnet_util.Parallel.domains_from_env ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate Table 1 and the figures.                         *)
 (* ------------------------------------------------------------------ *)
 
 let run_experiments () =
   Printf.printf
-    "churnet benchmark harness — scale %s, seed %d\n\
+    "churnet benchmark harness — scale %s, seed %d, %d domain(s)\n\
      Regenerating Table 1 (E1-E12), figures (F1-F14), extensions\n\
      (X1-X3, A1) and theory checks (T1, R1).\n%!"
-    (Scale.to_string scale) seed;
+    (Scale.to_string scale) seed domains;
   let reports =
     List.map
       (fun (e : Registry.entry) ->

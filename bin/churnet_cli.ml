@@ -9,6 +9,29 @@ let seed_arg =
   let doc = "PRNG seed (every run is deterministic given the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the trial-parallel experiments (overrides \
+     $(b,CHURNET_DOMAINS)).  Per-trial PRNGs are pre-split \
+     deterministically, so results are bit-identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains = function
+  | None -> (
+      (* Validate an inherited CHURNET_DOMAINS up front so a typo fails
+         with a clean message, not mid-experiment. *)
+      try ignore (Churnet_util.Parallel.domains_from_env ())
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+  | Some d ->
+      if d < 1 then begin
+        Printf.eprintf "--domains must be a positive integer\n";
+        exit 1
+      end;
+      Unix.putenv "CHURNET_DOMAINS" (string_of_int d)
+
 let csv_arg =
   let doc = "Also write every table of the report(s) as CSV files into $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
@@ -53,7 +76,8 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E1, F3).")
   in
-  let run id seed scale csv =
+  let run id seed scale csv domains =
+    apply_domains domains;
     match Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `churnet list`\n" id;
@@ -66,14 +90,15 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured report.")
-    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg)
+    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg $ domains_arg)
 
 let all_cmd =
   let group_arg =
     let doc = "Restrict to a group: table1, figures, extensions or theory." in
     Arg.(value & opt (some string) None & info [ "group" ] ~docv:"GROUP" ~doc)
   in
-  let run group seed scale csv =
+  let run group seed scale csv domains =
+    apply_domains domains;
     let entries =
       match group with
       | Some "table1" -> Registry.table1
@@ -101,7 +126,7 @@ let all_cmd =
     if not (List.for_all Report.all_hold reports) then exit 2
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment and print a roll-up summary.")
-    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg)
+    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg $ domains_arg)
 
 let demo_cmd =
   let run seed =
@@ -197,6 +222,12 @@ let flood_cmd =
           tr.Churnet_core.Flood.informed_per_round;
         (match tr.Churnet_core.Flood.completion_round with
         | Some r -> Printf.printf "\ncompleted in %d rounds\n" r
+        | None when tr.Churnet_core.Flood.extinct ->
+            Printf.printf "\nrumor went extinct at round %s (peak coverage %.1f%%)\n"
+              (match tr.Churnet_core.Flood.extinction_round with
+              | Some r -> string_of_int r
+              | None -> "?")
+              (100. *. tr.Churnet_core.Flood.peak_coverage)
         | None ->
             Printf.printf "\ndid not complete (peak coverage %.1f%%)\n"
               (100. *. tr.Churnet_core.Flood.peak_coverage))

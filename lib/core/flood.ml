@@ -1,4 +1,6 @@
 module Dyngraph = Churnet_graph.Dyngraph
+module Bitset = Churnet_util.Bitset
+module Intvec = Churnet_util.Intvec
 
 type trace = {
   rounds : int;
@@ -10,6 +12,8 @@ type trace = {
   peak_coverage : float;
   final_informed : int;
   final_population : int;
+  extinct : bool;
+  extinction_round : int option;
 }
 
 let coverage_at tr k =
@@ -21,7 +25,8 @@ let coverage_at tr k =
   end
 
 (* Shared trace assembly from per-round logs. *)
-let finish ~completed ~completion_round informed_log population_log =
+let finish ~completed ~completion_round ~extinct ~extinction_round informed_log
+    population_log =
   let informed_per_round = Array.of_list (List.rev informed_log) in
   let population_per_round = Array.of_list (List.rev population_log) in
   let peak_informed = Array.fold_left max 0 informed_per_round in
@@ -45,69 +50,101 @@ let finish ~completed ~completion_round informed_log population_log =
     peak_coverage;
     final_informed = (if len = 0 then 0 else informed_per_round.(len - 1));
     final_population = (if len = 0 then 0 else population_per_round.(len - 1));
+    extinct;
+    extinction_round;
   }
+
+(* The informed set is a bitset over node ids.  Ids grow without bound
+   under churn, so membership tests must tolerate ids beyond the current
+   capacity and insertions must grow it. *)
+let bs_mem bs id = id < Bitset.capacity bs && Bitset.mem bs id
+
+let bs_add bs id =
+  Bitset.ensure_capacity bs (id + 1);
+  Bitset.add bs id
+
+exception Found
 
 (* Grow the informed set by one synchronous hop on the current graph.
    Scans whichever side of the cut is smaller: the informed set's
-   neighborhoods, or the uninformed nodes' neighborhoods. *)
-let expand_informed graph informed =
+   neighborhoods, or the uninformed nodes' neighborhoods.  [scratch] is
+   cleared and used to stage the newly informed ids, so the hot path
+   allocates nothing (the informed set itself only reallocates on
+   capacity doubling). *)
+let expand_informed graph informed scratch =
   let alive = Dyngraph.alive_count graph in
-  let informed_alive = ref 0 in
-  Hashtbl.iter (fun id () -> if Dyngraph.is_alive graph id then incr informed_alive) informed;
-  let newly = ref [] in
-  if !informed_alive <= alive - !informed_alive then
-    Hashtbl.iter
-      (fun u () ->
+  (* informed <= alive: callers prune dead ids after every churn step. *)
+  let informed_alive = Bitset.cardinal informed in
+  Intvec.clear scratch;
+  if informed_alive <= alive - informed_alive then
+    Bitset.iter
+      (fun u ->
         if Dyngraph.is_alive graph u then
-          List.iter
-            (fun v -> if not (Hashtbl.mem informed v) then newly := v :: !newly)
-            (Dyngraph.neighbors graph u))
+          Dyngraph.iter_neighbors graph u (fun v ->
+              if not (bs_mem informed v) then Intvec.push scratch v))
       informed
   else
     Dyngraph.iter_alive graph (fun v ->
-        if not (Hashtbl.mem informed v) then
+        if not (bs_mem informed v) then
           let touches_informed =
-            List.exists (fun u -> Hashtbl.mem informed u) (Dyngraph.neighbors graph v)
+            match
+              Dyngraph.iter_neighbors graph v (fun u ->
+                  if bs_mem informed u then raise_notrace Found)
+            with
+            | () -> false
+            | exception Found -> true
           in
-          if touches_informed then newly := v :: !newly);
-  List.iter (fun v -> Hashtbl.replace informed v ()) !newly
+          if touches_informed then Intvec.push scratch v);
+  Intvec.iter (fun v -> bs_add informed v) scratch
 
-let prune_dead graph informed =
-  let dead = ref [] in
-  Hashtbl.iter (fun id () -> if not (Dyngraph.is_alive graph id) then dead := id :: !dead) informed;
-  List.iter (Hashtbl.remove informed) !dead
+let prune_dead graph informed scratch =
+  Intvec.clear scratch;
+  Bitset.iter
+    (fun id -> if not (Dyngraph.is_alive graph id) then Intvec.push scratch id)
+    informed;
+  Intvec.iter (fun id -> Bitset.remove informed id) scratch
 
 let run_custom ?max_rounds ~graph ~step ~newest ~default_max_rounds () =
   let max_rounds = Option.value ~default:default_max_rounds max_rounds in
   (* The source is the node joining the network at round t0. *)
   step ();
   let source = newest () in
-  let informed : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
-  Hashtbl.replace informed source ();
+  let informed = Bitset.create (source + 64) in
+  Bitset.add informed source;
+  let scratch = Intvec.create ~capacity:256 () in
   let informed_log = ref [ 1 ] in
   let population_log = ref [ Dyngraph.alive_count graph ] in
   let completed = ref false in
   let completion_round = ref None in
+  let extinct = ref false in
+  let extinction_round = ref None in
   let r = ref 0 in
-  while (not !completed) && !r < max_rounds do
+  while (not !completed) && (not !extinct) && !r < max_rounds do
     incr r;
     (* I_t = (I_{t-1} U boundary in G_{t-1}) /\ N_t *)
-    expand_informed graph informed;
+    expand_informed graph informed scratch;
     step ();
-    prune_dead graph informed;
+    prune_dead graph informed scratch;
     let alive = Dyngraph.alive_count graph in
-    let inf = Hashtbl.length informed in
+    let inf = Bitset.cardinal informed in
     informed_log := inf :: !informed_log;
     population_log := alive :: !population_log;
     let newborn = newest () in
     let uninformed = alive - inf in
-    if uninformed = 0 || (uninformed = 1 && not (Hashtbl.mem informed newborn)) then begin
+    if uninformed = 0 || (uninformed = 1 && not (bs_mem informed newborn)) then begin
       completed := true;
       completion_round := Some !r
     end
+    else if inf = 0 then begin
+      (* Extinction: every informed node died before passing the message
+         on.  Nothing can revive the flood, so stop here instead of
+         spinning to [max_rounds]. *)
+      extinct := true;
+      extinction_round := Some !r
+    end
   done;
-  finish ~completed:!completed ~completion_round:!completion_round !informed_log
-    !population_log
+  finish ~completed:!completed ~completion_round:!completion_round ~extinct:!extinct
+    ~extinction_round:!extinction_round !informed_log !population_log
 
 let run_streaming ?max_rounds model =
   let n = Streaming_model.n model in
@@ -117,11 +154,12 @@ let run_streaming ?max_rounds model =
     ~newest:(fun () -> Streaming_model.newest model)
     ~default_max_rounds:(4 * n) ()
 
-(* A candidate edge recorded at the start of a unit interval: [owner]'s
-   out-slot [slot] pointed at [other]; the uninformed endpoint was
-   [learner].  The message crosses only if the same slot still holds the
-   same target at the end of the interval and both endpoints survived. *)
-type candidate = { owner : int; slot : int; other : int; learner : int }
+(* Candidate edges recorded at the start of a unit interval are
+   flat-encoded as 4 consecutive ints in a scratch vector:
+   [owner]'s out-slot [slot] pointed at [other]; the uninformed endpoint
+   was [learner].  The message crosses only if the same slot still holds
+   the same target at the end of the interval and both endpoints
+   survived. *)
 
 let run_poisson_discretized ?max_rounds model =
   let n = Poisson_model.n model in
@@ -131,6 +169,7 @@ let run_poisson_discretized ?max_rounds model =
       max_rounds
   in
   let graph = Poisson_model.graph model in
+  let d = Dyngraph.d graph in
   (* Flood from the next newborn: advance jumps until a birth occurs. *)
   let rec until_birth () =
     let before = Dyngraph.alive_count graph in
@@ -141,55 +180,62 @@ let run_poisson_discretized ?max_rounds model =
   let source =
     match Poisson_model.newest model with Some s -> s | None -> assert false
   in
-  let informed : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
-  Hashtbl.replace informed source ();
+  let informed = Bitset.create (source + 64) in
+  Bitset.add informed source;
+  let scratch = Intvec.create ~capacity:256 () in
+  let candidates = Intvec.create ~capacity:1024 () in
   let informed_log = ref [ 1 ] in
   let population_log = ref [ Dyngraph.alive_count graph ] in
   let completed = ref false in
   let completion_round = ref None in
+  let extinct = ref false in
+  let extinction_round = ref None in
   let r = ref 0 in
-  while (not !completed) && !r < max_rounds do
+  while (not !completed) && (not !extinct) && !r < max_rounds do
     incr r;
     (* Record the informed-to-uninformed edges present at time t. *)
-    let candidates = ref [] in
-    Hashtbl.iter
-      (fun u () ->
+    Intvec.clear candidates;
+    let push_candidate ~owner ~slot ~other ~learner =
+      Intvec.push candidates owner;
+      Intvec.push candidates slot;
+      Intvec.push candidates other;
+      Intvec.push candidates learner
+    in
+    Bitset.iter
+      (fun u ->
         if Dyngraph.is_alive graph u then begin
-          let slots = Dyngraph.out_slots_raw graph u in
-          Array.iteri
-            (fun i w ->
-              if w >= 0 && not (Hashtbl.mem informed w) then
-                candidates := { owner = u; slot = i; other = w; learner = w } :: !candidates)
-            slots;
-          List.iter
-            (fun v ->
-              if not (Hashtbl.mem informed v) then begin
-                let vslots = Dyngraph.out_slots_raw graph v in
-                Array.iteri
-                  (fun j target ->
-                    if target = u then
-                      candidates :=
-                        { owner = v; slot = j; other = u; learner = v } :: !candidates)
-                  vslots
-              end)
-            (Dyngraph.in_neighbors graph u)
+          for i = 0 to d - 1 do
+            let w = Dyngraph.out_slot graph u i in
+            if w >= 0 && not (bs_mem informed w) then
+              push_candidate ~owner:u ~slot:i ~other:w ~learner:w
+          done;
+          Dyngraph.iter_in_neighbors graph u (fun v ->
+              if not (bs_mem informed v) then
+                for j = 0 to d - 1 do
+                  if Dyngraph.out_slot graph v j = u then
+                    push_candidate ~owner:v ~slot:j ~other:u ~learner:v
+                done)
         end)
       informed;
     (* Advance the churn by one unit of time. *)
     let birth_round_start = Poisson_model.round model in
     Poisson_model.run_until_time model (Poisson_model.time model +. 1.0);
     (* Deliver along candidates whose edge survived the whole interval. *)
-    List.iter
-      (fun c ->
-        if
-          Dyngraph.is_alive graph c.owner
-          && Dyngraph.is_alive graph c.other
-          && (Dyngraph.out_slots_raw graph c.owner).(c.slot) = c.other
-        then Hashtbl.replace informed c.learner ())
-      !candidates;
-    prune_dead graph informed;
+    let m = Intvec.length candidates / 4 in
+    for k = 0 to m - 1 do
+      let owner = Intvec.get candidates (4 * k) in
+      let slot = Intvec.get candidates ((4 * k) + 1) in
+      let other = Intvec.get candidates ((4 * k) + 2) in
+      let learner = Intvec.get candidates ((4 * k) + 3) in
+      if
+        Dyngraph.is_alive graph owner
+        && Dyngraph.is_alive graph other
+        && Dyngraph.out_slot graph owner slot = other
+      then bs_add informed learner
+    done;
+    prune_dead graph informed scratch;
     let alive = Dyngraph.alive_count graph in
-    let inf = Hashtbl.length informed in
+    let inf = Bitset.cardinal informed in
     informed_log := inf :: !informed_log;
     population_log := alive :: !population_log;
     (* Completion: everyone alive is informed, except possibly nodes born
@@ -197,17 +243,22 @@ let run_poisson_discretized ?max_rounds model =
        yet). *)
     let all_covered = ref true in
     Dyngraph.iter_alive graph (fun id ->
-        if (not (Hashtbl.mem informed id)) && Dyngraph.birth_of graph id <= birth_round_start
+        if (not (bs_mem informed id)) && Dyngraph.birth_of graph id <= birth_round_start
         then all_covered := false);
     if !all_covered && inf > 1 then begin
       completed := true;
       completion_round := Some !r
-    end;
-    (* Extinction: flooding can die out entirely in PDG. *)
-    if inf = 0 then completed := false
+    end
+    else if inf = 0 then begin
+      (* Extinction: flooding can die out entirely in PDG.  Once no
+         informed node is left the process is over — stop immediately and
+         record the round, rather than looping to [max_rounds]. *)
+      extinct := true;
+      extinction_round := Some !r
+    end
   done;
-  finish ~completed:!completed ~completion_round:!completion_round !informed_log
-    !population_log
+  finish ~completed:!completed ~completion_round:!completion_round ~extinct:!extinct
+    ~extinction_round:!extinction_round !informed_log !population_log
 
 module Async = struct
   type result = {
@@ -216,6 +267,7 @@ module Async = struct
     informed_total : int;
     final_coverage : float;
     events : int;
+    extinct : bool;
   }
 
   let run ?max_time model =
@@ -242,11 +294,9 @@ module Async = struct
       if (not (Hashtbl.mem informed id)) && Dyngraph.is_alive graph id then begin
         Hashtbl.replace informed id at;
         incr ever_informed;
-        List.iter
-          (fun v ->
+        Dyngraph.iter_neighbors graph id (fun v ->
             if not (Hashtbl.mem informed v) then
               Churnet_util.Heap.push deliveries (at +. 1.) v)
-          (Dyngraph.neighbors graph id)
       end
     in
     (* New edges towards informed nodes trigger a delivery one unit later
@@ -276,7 +326,13 @@ module Async = struct
     let events = ref 0 in
     let completed = ref false in
     let completion_time = ref None in
+    let extinct = ref false in
     let stop = ref false in
+    (* Time of the event processed last — a delivery's scheduled instant
+       or the churn jump just executed.  Completion is stamped with this,
+       not with the model clock: when a delivery completes the flood the
+       model clock still reads the previous jump. *)
+    let last_event_time = ref t0 in
     while not !stop do
       let next_jump = Poisson_model.next_jump_time model in
       let next_delivery = Churnet_util.Heap.peek deliveries in
@@ -286,25 +342,34 @@ module Async = struct
         | _ -> `Jump next_jump
       in
       (match now_candidate with
-      | `Delivery _ ->
-          (match Churnet_util.Heap.pop deliveries with
-          | Some (td, v) -> inform v td
-          | None -> ())
+      | `Delivery td ->
+          (* Deliveries past the deadline are outside the observation
+             window, exactly like jumps past the deadline. *)
+          if td > deadline then stop := true
+          else begin
+            (match Churnet_util.Heap.pop deliveries with
+            | Some (td, v) -> inform v td
+            | None -> ());
+            last_event_time := td
+          end
       | `Jump tj ->
           if tj > deadline then stop := true
           else begin
             Poisson_model.step model;
-            incr events
+            incr events;
+            last_event_time := Poisson_model.time model
           end);
       if not !stop then begin
         if !informed_alive = Dyngraph.alive_count graph && !informed_alive > 0 then begin
           completed := true;
-          completion_time := Some (Poisson_model.time model -. t0);
+          completion_time := Some (!last_event_time -. t0);
           stop := true
         end
-        else if !informed_alive = 0 && Churnet_util.Heap.is_empty deliveries then
+        else if !informed_alive = 0 && Churnet_util.Heap.is_empty deliveries then begin
           (* Extinction: no informed node alive and nothing pending. *)
+          extinct := true;
           stop := true
+        end
       end
     done;
     Dyngraph.set_edge_hook graph None;
@@ -319,5 +384,6 @@ module Async = struct
       final_coverage =
         (if alive = 0 then nan else float_of_int !informed_alive /. float_of_int alive);
       events = !events;
+      extinct = !extinct;
     }
 end

@@ -22,11 +22,24 @@ type trace = {
   peak_coverage : float;  (** max over rounds of |I_t| / |N_t| *)
   final_informed : int;
   final_population : int;
+  extinct : bool;
+      (** the informed set died out entirely (|I_t| = 0 before coverage);
+          the trace ends at that round instead of running to the round
+          bound *)
+  extinction_round : int option;
 }
 
 val coverage_at : trace -> int -> float
 (** [coverage_at tr k] = |I_{t0+k}| / |N_{t0+k}|, or the final coverage if
     the flood ended earlier. *)
+
+val expand_informed :
+  Churnet_graph.Dyngraph.t -> Churnet_util.Bitset.t -> Churnet_util.Intvec.t -> unit
+(** One synchronous flooding hop: add to [informed] (a bitset over node
+    ids) every alive node adjacent to an informed node.  [scratch] is
+    cleared and reused as staging space; the call allocates only when the
+    informed bitset must grow.  Callers must keep [informed] pruned to
+    alive ids (see {!run_custom}).  Exposed for the kernel benchmarks. *)
 
 val run_custom :
   ?max_rounds:int ->
@@ -43,27 +56,32 @@ val run_custom :
 
 val run_streaming : ?max_rounds:int -> Streaming_model.t -> trace
 (** Inserts the source with the next round's newborn and floods until
-    completion (I_t contains all of N_{t-1} /\ N_t) or [max_rounds]
-    (default [4 * n]).  The model must be warmed up. *)
+    completion (I_t contains all of N_{t-1} /\ N_t), extinction, or
+    [max_rounds] (default [4 * n]).  The model must be warmed up. *)
 
 val run_poisson_discretized : ?max_rounds:int -> Poisson_model.t -> trace
 (** Discretized flooding from the next newborn.  Completion here means
     every alive node is informed except possibly nodes born during the
     last unit interval (they have not yet had a full interval of
-    adjacency, so Definition 4.3 cannot have informed them). *)
+    adjacency, so Definition 4.3 cannot have informed them).  Stops early
+    with [extinct = true] when the informed set dies out. *)
 
 module Async : sig
   type result = {
     completed : bool;
-    completion_time : float option;  (** time since the source was informed *)
+    completion_time : float option;
+        (** time since the source was informed, stamped with the event
+            that completed coverage *)
     informed_total : int;  (** distinct nodes ever informed *)
     final_coverage : float;  (** informed alive / alive at the end *)
     events : int;  (** churn jumps executed during the flood *)
+    extinct : bool;  (** no informed node alive and no pending delivery *)
   }
 
   val run : ?max_time:float -> Poisson_model.t -> result
   (** Event-driven flooding per Definition 4.2 from the next newborn.
       Stops at full coverage of the alive set, at extinction (no informed
       node alive and no pending delivery), or after [max_time] time units
-      (default [8 * log n + 50]). *)
+      (default [8 * log n + 50]).  No event past the deadline — delivery
+      or churn jump — is processed. *)
 end

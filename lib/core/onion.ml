@@ -53,21 +53,23 @@ let run ?rng ~n ~d () =
   let total_y = ref 0 and total_o = ref (List.length !o0) in
   let target = max 1 (n / d) in
   let phase = ref 0 in
+  (* Reused across phases: membership of the previous old layer. *)
+  let prev_set = Churnet_util.Bitset.create (n + 1) in
   let continue = ref (List.length !o0 > 0) in
   while !continue do
     incr phase;
     let k = !phase in
     (* Step 1: young nodes not yet informed whose type-B request
        (indices d/2 .. d-1) hits the previous old layer. *)
-    let prev_set = Hashtbl.create 64 in
-    List.iter (fun a -> Hashtbl.replace prev_set a ()) !prev_o_layer;
+    Churnet_util.Bitset.clear prev_set;
+    List.iter (fun a -> Churnet_util.Bitset.add prev_set a) !prev_o_layer;
     let new_young = ref [] in
     for a = 1 to half - 1 do
       if is_young a && y_phase.(a) = 0 then begin
         let hit = ref false in
         for i = d / 2 to d - 1 do
           let t = young_requests.(a).(i) in
-          if t >= 0 && Hashtbl.mem prev_set t then hit := true
+          if t >= 0 && Churnet_util.Bitset.mem prev_set t then hit := true
         done;
         if !hit then begin
           y_phase.(a) <- k;
@@ -195,12 +197,14 @@ let run_poisson ?rng ~n ~d () =
   let target = max 1 (n / 20) in
   let phase = ref 0 in
   let logn = int_of_float (Float.ceil (log fn)) in
+  (* Reused across phases: membership of the previous old layer. *)
+  let prev_set = Churnet_util.Bitset.create (n + 1) in
   let continue = ref (List.length !o0 > 0) in
   while !continue do
     incr phase;
     let k = !phase in
-    let prev_set = Hashtbl.create 64 in
-    List.iter (fun a -> Hashtbl.replace prev_set a ()) !prev_o_layer;
+    Churnet_util.Bitset.clear prev_set;
+    List.iter (fun a -> Churnet_util.Bitset.add prev_set a) !prev_o_layer;
     (* Step 1: fresh young nodes whose type-B request hits the previous
        old layer; each flips the death coin on first contact. *)
     let new_young = ref [] in
@@ -208,7 +212,7 @@ let run_poisson ?rng ~n ~d () =
       if is_young r && y_phase.(r) = 0 && not dead.(r) then begin
         let hit = ref false in
         for i = d / 2 to d - 1 do
-          if Hashtbl.mem prev_set young_requests.(r).(i) then hit := true
+          if Churnet_util.Bitset.mem prev_set young_requests.(r).(i) then hit := true
         done;
         if !hit then begin
           roll_death r;

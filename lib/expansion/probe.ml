@@ -11,25 +11,34 @@ type report = {
   candidates_tested : int;
 }
 
-(* Accumulator over candidates. *)
+(* Accumulator over candidates.  The two scratch bitsets (candidate set
+   and boundary dedup, both capacity n) are reused across every candidate
+   so the probe allocates nothing per set tested. *)
 type acc = {
   mutable best : witness;
   families : (string, float) Hashtbl.t;
   mutable tested : int;
+  set_scratch : Bitset.t;
+  boundary_scratch : Bitset.t;
 }
 
-let new_acc () =
+let new_acc snap =
+  let n = Snapshot.n snap in
   {
     best = { family = "none"; size = 0; expansion = infinity };
     families = Hashtbl.create 16;
     tested = 0;
+    set_scratch = Bitset.create n;
+    boundary_scratch = Bitset.create n;
   }
 
 let consider acc snap ~family ~min_size ~max_size indices =
   let size = Array.length indices in
   if size >= min_size && size <= max_size && size > 0 then begin
-    let set = Snapshot.set_of_indices snap indices in
-    let e = Snapshot.expansion snap set in
+    let set = acc.set_scratch in
+    Bitset.clear set;
+    Array.iter (fun i -> Bitset.add set i) indices;
+    let e = Snapshot.expansion ~scratch:acc.boundary_scratch snap set in
     acc.tested <- acc.tested + 1;
     let prev = Option.value ~default:infinity (Hashtbl.find_opt acc.families family) in
     if e < prev then Hashtbl.replace acc.families family e;
@@ -128,7 +137,7 @@ let probe ?rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
   let rng = match rng with Some r -> r | None -> Prng.create 0xAB1 in
   let n = Snapshot.n snap in
   let max_size = Option.value ~default:(n / 2) max_size in
-  let acc = new_acc () in
+  let acc = new_acc snap in
   let consider ~family indices = consider acc snap ~family ~min_size ~max_size indices in
   let sizes = size_ladder ~min_size ~max_size in
   (* Singletons: exactly the per-vertex degrees. *)
@@ -176,7 +185,7 @@ let expansion_profile ?rng snap ~sizes =
     (fun s ->
       if s < 1 || s > n then (s, nan)
       else begin
-        let acc = new_acc () in
+        let acc = new_acc snap in
         let consider ~family indices =
           consider acc snap ~family ~min_size:s ~max_size:s indices
         in

@@ -72,30 +72,41 @@ let e12 ~seed ~scale =
 let f9 ~seed ~scale =
   let n = Scale.pick scale ~smoke:500 ~standard:3000 ~full:10000 in
   let rng = Prng.create seed in
-  (* Streaming demographics. *)
-  let sm = Streaming_model.create ~rng:(Prng.split rng) ~n ~d:4 ~regenerate:false () in
-  Streaming_model.warm_up sm;
   let buckets = 10 in
-  let stream_counts = Array.make buckets 0 in
-  Churnet_graph.Dyngraph.iter_alive (Streaming_model.graph sm) (fun id ->
-      let age = Streaming_model.age_of sm id in
-      let b = min (buckets - 1) (age * buckets / n) in
-      stream_counts.(b) <- stream_counts.(b) + 1);
+  let slices = 8 in
+  (* The streaming and Poisson halves are independent; pre-split their
+     rngs in the historical order and run both in parallel. *)
+  let stream_rng = Prng.split rng in
+  let poisson_rng = Prng.split rng in
+  let stream_job () =
+    let sm = Streaming_model.create ~rng:stream_rng ~n ~d:4 ~regenerate:false () in
+    Streaming_model.warm_up sm;
+    let stream_counts = Array.make buckets 0 in
+    Churnet_graph.Dyngraph.iter_alive (Streaming_model.graph sm) (fun id ->
+        let age = Streaming_model.age_of sm id in
+        let b = min (buckets - 1) (age * buckets / n) in
+        stream_counts.(b) <- stream_counts.(b) + 1);
+    stream_counts
+  in
+  let poisson_job () =
+    (* Poisson demographics: slices of n jumps (the paper's K_m). *)
+    let pm = Poisson_model.create ~rng:poisson_rng ~n ~d:4 ~regenerate:false () in
+    Poisson_model.warm_up pm;
+    (* extra mixing so the geometric tail is populated *)
+    Poisson_model.run_rounds pm (6 * n);
+    let poisson_counts = Array.make slices 0 in
+    let now = Poisson_model.round pm in
+    Churnet_graph.Dyngraph.iter_alive (Poisson_model.graph pm) (fun id ->
+        let age = now - Churnet_graph.Dyngraph.birth_of (Poisson_model.graph pm) id in
+        let b = min (slices - 1) (age / n) in
+        poisson_counts.(b) <- poisson_counts.(b) + 1);
+    poisson_counts
+  in
+  let counts = Churnet_util.Parallel.map (fun job -> job ()) [| stream_job; poisson_job |] in
+  let stream_counts = counts.(0) and poisson_counts = counts.(1) in
   let stream_emp = Kl.of_counts stream_counts in
   let stream_model = Array.make buckets (1. /. float_of_int buckets) in
   let stream_kl = Kl.kl_divergence stream_emp stream_model in
-  (* Poisson demographics: slices of n jumps (the paper's K_m). *)
-  let pm = Poisson_model.create ~rng:(Prng.split rng) ~n ~d:4 ~regenerate:false () in
-  Poisson_model.warm_up pm;
-  (* extra mixing so the geometric tail is populated *)
-  Poisson_model.run_rounds pm (6 * n);
-  let slices = 8 in
-  let poisson_counts = Array.make slices 0 in
-  let now = Poisson_model.round pm in
-  Churnet_graph.Dyngraph.iter_alive (Poisson_model.graph pm) (fun id ->
-      let age = now - Churnet_graph.Dyngraph.birth_of (Poisson_model.graph pm) id in
-      let b = min (slices - 1) (age / n) in
-      poisson_counts.(b) <- poisson_counts.(b) + 1);
   let poisson_emp = Kl.of_counts poisson_counts in
   (* Slice m (width n jumps) survives with probability ~ e^{-m/2}: the
      per-jump death hazard of a given node is ~ 1/(2n) (Lemma 4.7). *)

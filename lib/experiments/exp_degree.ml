@@ -18,14 +18,26 @@ let f4 ~seed ~scale =
     Table.create [ "n"; "SDGR max deg"; "SDGR mean deg"; "PDGR max deg"; "PDGR mean deg" ]
   in
   let sdgr_pts = ref [] and pdgr_pts = ref [] in
+  (* Two splits per n (SDGR then PDGR), in the historical serial order;
+     the per-n snapshots then build in parallel. *)
+  let jobs = ref [] in
   List.iter
     (fun n ->
-      let snap kind =
-        let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
+      let r1 = Prng.split rng in
+      let r2 = Prng.split rng in
+      jobs := (Models.PDGR, n, r2) :: (Models.SDGR, n, r1) :: !jobs)
+    ns;
+  let snaps =
+    Churnet_util.Parallel.map
+      (fun (kind, n, rng) ->
+        let m = Models.create ~rng kind ~n ~d in
         Models.warm_up m;
-        Models.snapshot m
-      in
-      let s1 = snap Models.SDGR and s2 = snap Models.PDGR in
+        Models.snapshot m)
+      (Array.of_list (List.rev !jobs))
+  in
+  List.iteri
+    (fun i n ->
+      let s1 = snaps.(2 * i) and s2 = snaps.((2 * i) + 1) in
       Table.add_row table
         [
           string_of_int n;

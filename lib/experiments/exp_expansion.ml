@@ -19,17 +19,32 @@ let probe_snapshots kind ~rng ~n ~d ~min_size_of ~snapshots =
   let worst = ref infinity in
   let witness = ref None in
   let spectral_gaps = ref [] in
-  for _ = 1 to snapshots do
-    let snap = snapshot_of kind ~rng:(Prng.split rng) ~n ~d in
-    let min_size = min_size_of (Snapshot.n snap) in
-    let r = Probe.probe ~rng:(Prng.split rng) ~min_size snap in
-    if r.min_expansion < !worst then begin
-      worst := r.min_expansion;
-      witness := Some r.witness
-    end;
-    let sp = Spectral.analyze ~iters:120 snap in
-    spectral_gaps := sp.spectral_gap :: !spectral_gaps
-  done;
+  (* Two splits per snapshot (model, then probe), in the historical serial
+     order; the independent snapshots then run in parallel. *)
+  let pairs =
+    Array.init snapshots (fun _ ->
+        let model_rng = Prng.split rng in
+        let probe_rng = Prng.split rng in
+        (model_rng, probe_rng))
+  in
+  let results =
+    Churnet_util.Parallel.map
+      (fun (model_rng, probe_rng) ->
+        let snap = snapshot_of kind ~rng:model_rng ~n ~d in
+        let min_size = min_size_of (Snapshot.n snap) in
+        let r = Probe.probe ~rng:probe_rng ~min_size snap in
+        let sp = Spectral.analyze ~iters:120 snap in
+        (r, sp))
+      pairs
+  in
+  Array.iter
+    (fun ((r : Probe.report), (sp : Spectral.report)) ->
+      if r.min_expansion < !worst then begin
+        worst := r.min_expansion;
+        witness := Some r.witness
+      end;
+      spectral_gaps := sp.spectral_gap :: !spectral_gaps)
+    results;
   let mean_gap =
     List.fold_left ( +. ) 0. !spectral_gaps /. float_of_int (List.length !spectral_gaps)
   in
@@ -122,13 +137,21 @@ let f6 ~seed ~scale =
       ("size"
       :: List.map (fun k -> Models.kind_name k) Models.all_kinds)
   in
+  let jobs = ref [] in
+  List.iter
+    (fun kind ->
+      let model_rng = Prng.split rng in
+      let profile_rng = Prng.split rng in
+      jobs := (kind, model_rng, profile_rng) :: !jobs)
+    Models.all_kinds;
   let profiles =
-    List.map
-      (fun kind ->
-        let d = if Models.regenerates kind then 35 else 20 in
-        let snap = snapshot_of kind ~rng:(Prng.split rng) ~n ~d in
-        (kind, Probe.expansion_profile ~rng:(Prng.split rng) snap ~sizes))
-      Models.all_kinds
+    Array.to_list
+      (Churnet_util.Parallel.map
+         (fun (kind, model_rng, profile_rng) ->
+           let d = if Models.regenerates kind then 35 else 20 in
+           let snap = snapshot_of kind ~rng:model_rng ~n ~d in
+           (kind, Probe.expansion_profile ~rng:profile_rng snap ~sizes))
+         (Array.of_list (List.rev !jobs)))
   in
   Array.iteri
     (fun i s ->
@@ -181,25 +204,40 @@ let f7 ~seed ~scale =
     Table.create [ "d"; "min expansion (probe)"; "largest comp"; "flood rounds" ]
   in
   let results = ref [] in
+  let ds = [ 1; 2; 3; 4; 6 ] in
+  let jobs = ref [] in
   List.iter
     (fun d ->
-      let snap = Static_dout.generate ~rng:(Prng.split rng) ~n ~d () in
-      let r = Probe.probe ~rng:(Prng.split rng) snap in
-      let comp = Snapshot.largest_component snap in
-      let flood =
-        match Static_dout.flooding_rounds ~rng:(Prng.split rng) ~n ~d () with
-        | Some rounds -> string_of_int rounds
-        | None -> "incomplete"
-      in
+      let gen_rng = Prng.split rng in
+      let probe_rng = Prng.split rng in
+      let flood_rng = Prng.split rng in
+      jobs := (d, gen_rng, probe_rng, flood_rng) :: !jobs)
+    ds;
+  let rows =
+    Churnet_util.Parallel.map
+      (fun (d, gen_rng, probe_rng, flood_rng) ->
+        let snap = Static_dout.generate ~rng:gen_rng ~n ~d () in
+        let r = Probe.probe ~rng:probe_rng snap in
+        let comp = Snapshot.largest_component snap in
+        let flood =
+          match Static_dout.flooding_rounds ~rng:flood_rng ~n ~d () with
+          | Some rounds -> string_of_int rounds
+          | None -> "incomplete"
+        in
+        (d, r.min_expansion, comp, flood))
+      (Array.of_list (List.rev !jobs))
+  in
+  Array.iter
+    (fun (d, min_expansion, comp, flood) ->
       Table.add_row table
         [
           string_of_int d;
-          Table.fmt_float ~digits:3 r.min_expansion;
+          Table.fmt_float ~digits:3 min_expansion;
           Printf.sprintf "%d/%d" comp n;
           flood;
         ];
-      results := (d, r.min_expansion) :: !results)
-    [ 1; 2; 3; 4; 6 ];
+      results := (d, min_expansion) :: !results)
+    rows;
   let get d = List.assoc d !results in
   Report.make ~id:"F7" ~title:"Static d-out random graph is an expander for d >= 3 (Lemma B.1)"
     ~tables:[ table ]

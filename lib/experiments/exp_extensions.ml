@@ -41,14 +41,17 @@ let x1 ~seed ~scale =
       let snap = Capped_model.snapshot m in
       let probe = Probe.probe ~rng:(Prng.split rng) snap in
       let rounds_acc = Stats.Acc.create () and cov_acc = Stats.Acc.create () in
-      for _ = 1 to trials do
-        let fm = mk (Prng.split rng) in
-        let tr = Capped_model.flood fm in
-        (match tr.completion_round with
-        | Some r -> Stats.Acc.add_int rounds_acc r
-        | None -> ());
-        Stats.Acc.add cov_acc tr.peak_coverage
-      done;
+      let traces =
+        Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+            Capped_model.flood (mk rng))
+      in
+      Array.iter
+        (fun tr ->
+          (match tr.Flood.completion_round with
+          | Some r -> Stats.Acc.add_int rounds_acc r
+          | None -> ());
+          Stats.Acc.add cov_acc tr.Flood.peak_coverage)
+        traces;
       Table.add_row table
         [
           cap_name cap;
@@ -100,21 +103,25 @@ let x2 ~seed ~scale =
           let rounds_acc = Stats.Acc.create () and cov_acc = Stats.Acc.create () in
           let msg_acc = Stats.Acc.create () in
           let completed = ref 0 in
-          for _ = 1 to trials do
-            let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
-            Models.warm_up m;
-            let tr = Gossip.run ~strategy m in
-            if tr.completed then begin
-              incr completed;
-              match tr.completion_round with
-              | Some r -> Stats.Acc.add_int rounds_acc r
-              | None -> ()
-            end;
-            Stats.Acc.add cov_acc tr.peak_coverage;
-            if tr.rounds > 0 then
-              Stats.Acc.add msg_acc
-                (float_of_int tr.messages_sent /. float_of_int (tr.rounds * n))
-          done;
+          let traces =
+            Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+                let m = Models.create ~rng kind ~n ~d in
+                Models.warm_up m;
+                Gossip.run ~strategy m)
+          in
+          Array.iter
+            (fun (tr : Gossip.trace) ->
+              if tr.completed then begin
+                incr completed;
+                match tr.completion_round with
+                | Some r -> Stats.Acc.add_int rounds_acc r
+                | None -> ()
+              end;
+              Stats.Acc.add cov_acc tr.peak_coverage;
+              if tr.rounds > 0 then
+                Stats.Acc.add msg_acc
+                  (float_of_int tr.messages_sent /. float_of_int (tr.rounds * n)))
+            traces;
           Table.add_row table
             [
               Models.kind_name kind;
@@ -164,23 +171,23 @@ let x3 ~seed ~scale =
     (fun burst_size ->
       let completed = ref 0 in
       let rounds_acc = Stats.Acc.create () and cov_acc = Stats.Acc.create () in
-      for _ = 1 to trials do
-        let m =
-          Burst_model.create ~rng:(Prng.split rng) ~n ~d ~burst_every ~burst_size ()
-        in
-        Burst_model.warm_up m;
-        let tr =
-          Burst_model.flood
-            ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40) m
-        in
-        if tr.completed then begin
-          incr completed;
-          match tr.completion_round with
-          | Some r -> Stats.Acc.add_int rounds_acc r
-          | None -> ()
-        end;
-        Stats.Acc.add cov_acc tr.peak_coverage
-      done;
+      let traces =
+        Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+            let m = Burst_model.create ~rng ~n ~d ~burst_every ~burst_size () in
+            Burst_model.warm_up m;
+            Burst_model.flood
+              ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40) m)
+      in
+      Array.iter
+        (fun tr ->
+          if tr.Flood.completed then begin
+            incr completed;
+            match tr.Flood.completion_round with
+            | Some r -> Stats.Acc.add_int rounds_acc r
+            | None -> ()
+          end;
+          Stats.Acc.add cov_acc tr.Flood.peak_coverage)
+        traces;
       Table.add_row table
         [
           string_of_int burst_size;
@@ -240,13 +247,17 @@ let a1 ~seed ~scale =
       in
       let completed = ref 0 in
       let cov_acc = Stats.Acc.create () in
-      for _ = 1 to trials do
-        let fm = Lazy_regen_model.create ~rng:(Prng.split rng) ~n ~d ~period () in
-        Lazy_regen_model.warm_up fm;
-        let tr = Lazy_regen_model.flood fm in
-        if tr.completed then incr completed;
-        Stats.Acc.add cov_acc tr.peak_coverage
-      done;
+      let traces =
+        Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+            let fm = Lazy_regen_model.create ~rng ~n ~d ~period () in
+            Lazy_regen_model.warm_up fm;
+            Lazy_regen_model.flood fm)
+      in
+      Array.iter
+        (fun tr ->
+          if tr.Flood.completed then incr completed;
+          Stats.Acc.add cov_acc tr.Flood.peak_coverage)
+        traces;
       Table.add_row table
         [
           Table.fmt_float ~digits:2 period;

@@ -4,6 +4,7 @@
 
 open Churnet_core
 module Prng = Churnet_util.Prng
+module Parallel = Churnet_util.Parallel
 module Table = Churnet_util.Table
 module Stats = Churnet_util.Stats
 
@@ -18,25 +19,33 @@ let e7 ~seed ~scale =
   let n = Scale.pick scale ~smoke:300 ~standard:1500 ~full:6000 in
   let trials = Scale.pick scale ~smoke:20 ~standard:120 ~full:600 in
   let rng = Prng.create seed in
-  let table = Table.create [ "d"; "trials"; "stall frac"; "95% CI"; "mean peak coverage" ] in
+  let table =
+    Table.create
+      [ "d"; "trials"; "stall frac"; "extinct frac"; "95% CI"; "mean peak coverage" ]
+  in
   let stall_fracs = ref [] in
   List.iter
     (fun d ->
+      let traces =
+        Parallel.replicate ~rng ~trials (fun rng ->
+            flood_once Models.SDG ~rng ~n ~d ~max_rounds:40)
+      in
       let stalls = ref 0 in
+      let extinctions = ref 0 in
       let cov = Stats.Acc.create () in
-      for _ = 1 to trials do
-        let tr =
-          flood_once Models.SDG ~rng:(Prng.split rng) ~n ~d ~max_rounds:40
-        in
-        if tr.peak_informed <= d + 1 then incr stalls;
-        Stats.Acc.add cov tr.peak_coverage
-      done;
+      Array.iter
+        (fun tr ->
+          if tr.Flood.peak_informed <= d + 1 then incr stalls;
+          if tr.Flood.extinct then incr extinctions;
+          Stats.Acc.add cov tr.Flood.peak_coverage)
+        traces;
       let frac = float_of_int !stalls /. float_of_int trials in
       Table.add_row table
         [
           string_of_int d;
           string_of_int trials;
           Table.fmt_pct frac;
+          Table.fmt_pct (float_of_int !extinctions /. float_of_int trials);
           Table.fmt_ci (Stats.binomial_ci95 ~successes:!stalls ~trials);
           Table.fmt_pct (Stats.Acc.mean cov);
         ];
@@ -85,25 +94,29 @@ let coverage_experiment ~id ~title kind ~exponent_divisor ~seed ~scale =
       let successes = ref 0 in
       let rounds_acc = Stats.Acc.create () in
       let cov_acc = Stats.Acc.create () in
-      for _ = 1 to trials do
-        let tr = flood_once kind ~rng:(Prng.split rng) ~n ~d ~max_rounds:budget in
-        Stats.Acc.add cov_acc tr.peak_coverage;
-        (* first round reaching target coverage *)
-        let hit = ref None in
-        Array.iteri
-          (fun i inf ->
-            let pop = tr.population_per_round.(i) in
-            if
-              !hit = None && pop > 0
-              && float_of_int inf /. float_of_int pop >= target
-            then hit := Some i)
-          tr.informed_per_round;
-        match !hit with
-        | Some r ->
-            incr successes;
-            Stats.Acc.add_int rounds_acc r
-        | None -> ()
-      done;
+      let traces =
+        Parallel.replicate ~rng ~trials (fun rng ->
+            flood_once kind ~rng ~n ~d ~max_rounds:budget)
+      in
+      Array.iter
+        (fun tr ->
+          Stats.Acc.add cov_acc tr.Flood.peak_coverage;
+          (* first round reaching target coverage *)
+          let hit = ref None in
+          Array.iteri
+            (fun i inf ->
+              let pop = tr.Flood.population_per_round.(i) in
+              if
+                !hit = None && pop > 0
+                && float_of_int inf /. float_of_int pop >= target
+              then hit := Some i)
+            tr.Flood.informed_per_round;
+          match !hit with
+          | Some r ->
+              incr successes;
+              Stats.Acc.add_int rounds_acc r
+          | None -> ())
+        traces;
       let frac = float_of_int !successes /. float_of_int trials in
       Table.add_row table
         [
@@ -147,17 +160,25 @@ let e9 ~seed ~scale =
   let n = Scale.pick scale ~smoke:200 ~standard:800 ~full:2500 in
   let trials = Scale.pick scale ~smoke:15 ~standard:60 ~full:200 in
   let rng = Prng.create (seed + 17) in
-  let stall_table = Table.create [ "d"; "trials"; "async extinction frac"; "95% CI" ] in
+  let stall_table =
+    Table.create [ "d"; "trials"; "async stall frac"; "extinct frac"; "95% CI" ]
+  in
   let fracs = ref [] in
   List.iter
     (fun d ->
+      let results =
+        Parallel.replicate ~rng ~trials (fun rng ->
+            let m = Poisson_model.create ~rng ~n ~d ~regenerate:false () in
+            Poisson_model.warm_up m;
+            Flood.Async.run ~max_time:40. m)
+      in
       let stalls = ref 0 in
-      for _ = 1 to trials do
-        let m = Poisson_model.create ~rng:(Prng.split rng) ~n ~d ~regenerate:false () in
-        Poisson_model.warm_up m;
-        let r = Flood.Async.run ~max_time:40. m in
-        if (not r.completed) && r.informed_total <= d + 1 then incr stalls
-      done;
+      let extinctions = ref 0 in
+      Array.iter
+        (fun (r : Flood.Async.result) ->
+          if (not r.completed) && r.informed_total <= d + 1 then incr stalls;
+          if r.extinct then incr extinctions)
+        results;
       let frac = float_of_int !stalls /. float_of_int trials in
       fracs := (d, frac) :: !fracs;
       Table.add_row stall_table
@@ -165,6 +186,7 @@ let e9 ~seed ~scale =
           string_of_int d;
           string_of_int trials;
           Table.fmt_pct frac;
+          Table.fmt_pct (float_of_int !extinctions /. float_of_int trials);
           Table.fmt_ci (Stats.binomial_ci95 ~successes:!stalls ~trials);
         ])
     [ 1; 2 ];
@@ -209,18 +231,20 @@ let completion_experiment ~id ~title kind ~d ~seed ~scale =
       let measure dd =
         let acc = Stats.Acc.create () in
         let completed = ref 0 in
-        for _ = 1 to trials do
-          let tr =
-            flood_once kind ~rng:(Prng.split rng) ~n ~d:dd
-              ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40)
-          in
-          if tr.completed then begin
-            incr completed;
-            match tr.completion_round with
-            | Some r -> Stats.Acc.add_int acc r
-            | None -> ()
-          end
-        done;
+        let traces =
+          Parallel.replicate ~rng ~trials (fun rng ->
+              flood_once kind ~rng ~n ~d:dd
+                ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40))
+        in
+        Array.iter
+          (fun tr ->
+            if tr.Flood.completed then begin
+              incr completed;
+              match tr.Flood.completion_round with
+              | Some r -> Stats.Acc.add_int acc r
+              | None -> ()
+            end)
+          traces;
         (!completed, Stats.Acc.mean acc)
       in
       let completed, mean_rounds = measure d in
@@ -297,35 +321,47 @@ let f1 ~seed ~scale =
      static: BFS eccentricity. *)
   let half_coverage_rounds kind ~n ~d =
     let acc = Stats.Acc.create () in
-    for _ = 1 to trials do
-      let budget = int_of_float (6. *. log (float_of_int n)) + 20 in
-      let tr = flood_once kind ~rng:(Prng.split rng) ~n ~d ~max_rounds:budget in
-      let hit = ref None in
-      Array.iteri
-        (fun i inf ->
-          let pop = tr.population_per_round.(i) in
-          if !hit = None && pop > 0 && 2 * inf >= pop then hit := Some i)
-        tr.informed_per_round;
-      match !hit with Some r -> Stats.Acc.add_int acc r | None -> ()
-    done;
+    let budget = int_of_float (6. *. log (float_of_int n)) + 20 in
+    let traces =
+      Parallel.replicate ~rng ~trials (fun rng ->
+          flood_once kind ~rng ~n ~d ~max_rounds:budget)
+    in
+    Array.iter
+      (fun tr ->
+        let hit = ref None in
+        Array.iteri
+          (fun i inf ->
+            let pop = tr.Flood.population_per_round.(i) in
+            if !hit = None && pop > 0 && 2 * inf >= pop then hit := Some i)
+          tr.Flood.informed_per_round;
+        match !hit with Some r -> Stats.Acc.add_int acc r | None -> ())
+      traces;
     Stats.Acc.mean acc
   in
   let completion_rounds kind ~n ~d =
     let acc = Stats.Acc.create () in
-    for _ = 1 to trials do
-      let budget = int_of_float (20. *. log (float_of_int n)) + 40 in
-      let tr = flood_once kind ~rng:(Prng.split rng) ~n ~d ~max_rounds:budget in
-      match tr.completion_round with Some r -> Stats.Acc.add_int acc r | None -> ()
-    done;
+    let budget = int_of_float (20. *. log (float_of_int n)) + 40 in
+    let traces =
+      Parallel.replicate ~rng ~trials (fun rng ->
+          flood_once kind ~rng ~n ~d ~max_rounds:budget)
+    in
+    Array.iter
+      (fun tr ->
+        match tr.Flood.completion_round with
+        | Some r -> Stats.Acc.add_int acc r
+        | None -> ())
+      traces;
     Stats.Acc.mean acc
   in
   let static_rounds ~n ~d =
     let acc = Stats.Acc.create () in
-    for _ = 1 to trials do
-      match Static_dout.flooding_rounds ~rng:(Prng.split rng) ~n ~d () with
-      | Some r -> Stats.Acc.add_int acc r
-      | None -> ()
-    done;
+    let results =
+      Parallel.replicate ~rng ~trials (fun rng ->
+          Static_dout.flooding_rounds ~rng ~n ~d ())
+    in
+    Array.iter
+      (function Some r -> Stats.Acc.add_int acc r | None -> ())
+      results;
     Stats.Acc.mean acc
   in
   let table =
@@ -400,10 +436,11 @@ let f2 ~seed ~scale =
     (fun d ->
       let mean_cov kind =
         let acc = Stats.Acc.create () in
-        for _ = 1 to trials do
-          let tr = flood_once kind ~rng:(Prng.split rng) ~n ~d ~max_rounds:budget in
-          Stats.Acc.add acc tr.peak_coverage
-        done;
+        let traces =
+          Parallel.replicate ~rng ~trials (fun rng ->
+              flood_once kind ~rng ~n ~d ~max_rounds:budget)
+        in
+        Array.iter (fun tr -> Stats.Acc.add acc tr.Flood.peak_coverage) traces;
         Stats.Acc.mean acc
       in
       let sdg = mean_cov Models.SDG and pdg = mean_cov Models.PDG in
@@ -457,26 +494,41 @@ let f11 ~seed ~scale =
     (fun n ->
       let async_acc = Stats.Acc.create () and disc_acc = Stats.Acc.create () in
       let async_done = ref 0 and disc_done = ref 0 in
-      for _ = 1 to trials do
-        let m = Poisson_model.create ~rng:(Prng.split rng) ~n ~d ~regenerate:true () in
-        Poisson_model.warm_up m;
-        let r = Flood.Async.run m in
-        if r.completed then begin
-          incr async_done;
-          match r.completion_time with
-          | Some t -> Stats.Acc.add async_acc t
-          | None -> ()
-        end;
-        let m2 = Poisson_model.create ~rng:(Prng.split rng) ~n ~d ~regenerate:true () in
-        Poisson_model.warm_up m2;
-        let tr = Flood.run_poisson_discretized m2 in
-        if tr.completed then begin
-          incr disc_done;
-          match tr.completion_round with
-          | Some r -> Stats.Acc.add_int disc_acc r
-          | None -> ()
-        end
-      done;
+      (* Each trial consumes two splits (async model, then discretized
+         model), in the same order as the historical serial loop. *)
+      let pairs =
+        Array.init trials (fun _ ->
+            let ra = Prng.split rng in
+            let rd = Prng.split rng in
+            (ra, rd))
+      in
+      let results =
+        Parallel.map
+          (fun (ra, rd) ->
+            let m = Poisson_model.create ~rng:ra ~n ~d ~regenerate:true () in
+            Poisson_model.warm_up m;
+            let r = Flood.Async.run m in
+            let m2 = Poisson_model.create ~rng:rd ~n ~d ~regenerate:true () in
+            Poisson_model.warm_up m2;
+            let tr = Flood.run_poisson_discretized m2 in
+            (r, tr))
+          pairs
+      in
+      Array.iter
+        (fun ((r : Flood.Async.result), tr) ->
+          if r.completed then begin
+            incr async_done;
+            match r.completion_time with
+            | Some t -> Stats.Acc.add async_acc t
+            | None -> ()
+          end;
+          if tr.Flood.completed then begin
+            incr disc_done;
+            match tr.Flood.completion_round with
+            | Some r -> Stats.Acc.add_int disc_acc r
+            | None -> ()
+          end)
+        results;
       let am = Stats.Acc.mean async_acc and dm = Stats.Acc.mean disc_acc in
       if not (am <= dm +. 2.) then dominated := false;
       Table.add_row table

@@ -33,13 +33,17 @@ let run_isolated ~id ~title kind ~seed ~scale =
       in
       let isolated_total = ref 0 and pop_total = ref 0 in
       let forever_fracs = ref [] in
-      for _ = 1 to trials do
-        let c = census_for kind ~rng:(Prng.split rng) ~n ~d in
-        isolated_total := !isolated_total + c.isolated_now;
-        pop_total := !pop_total + c.population;
-        if not (Float.is_nan c.forever_frac_of_tracked) then
-          forever_fracs := c.forever_frac_of_tracked :: !forever_fracs
-      done;
+      let censuses =
+        Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+            census_for kind ~rng ~n ~d)
+      in
+      Array.iter
+        (fun (c : Isolated.census) ->
+          isolated_total := !isolated_total + c.isolated_now;
+          pop_total := !pop_total + c.population;
+          if not (Float.is_nan c.forever_frac_of_tracked) then
+            forever_fracs := c.forever_frac_of_tracked :: !forever_fracs)
+        censuses;
       let mean_isolated = float_of_int !isolated_total /. float_of_int trials in
       let mean_pop = float_of_int !pop_total /. float_of_int trials in
       let forever =
@@ -93,10 +97,24 @@ let f3 ~seed ~scale =
   let rng = Prng.create seed in
   let table = Table.create [ "d"; "SDG frac"; "PDG frac"; "(1/6)e^-2d"; "(1/18)e^-2d" ] in
   let sdg_series = ref [] and pdg_series = ref [] and law = ref [] in
+  (* Pre-split in the historical order (SDG then PDG per d), then run all
+     censuses in parallel. *)
+  let jobs = ref [] in
   List.iter
     (fun d ->
-      let c_sdg = census_for ~watch:false `SDG ~rng:(Prng.split rng) ~n ~d in
-      let c_pdg = census_for ~watch:false `PDG ~rng:(Prng.split rng) ~n ~d in
+      let r_sdg = Prng.split rng in
+      let r_pdg = Prng.split rng in
+      jobs := (`PDG, d, r_pdg) :: (`SDG, d, r_sdg) :: !jobs)
+    ds;
+  let censuses =
+    Churnet_util.Parallel.map
+      (fun (kind, d, rng) -> census_for ~watch:false kind ~rng ~n ~d)
+      (Array.of_list (List.rev !jobs))
+  in
+  List.iteri
+    (fun i d ->
+      let c_sdg = censuses.(2 * i) in
+      let c_pdg = censuses.((2 * i) + 1) in
       let b_sdg = exp (-2. *. float_of_int d) /. 6. in
       let b_pdg = exp (-2. *. float_of_int d) /. 18. in
       Table.add_row table

@@ -229,6 +229,12 @@ let out_targets t id =
 
 let out_slots_raw t id = Array.copy (get_node t id).out_slots
 
+let out_slot t id slot =
+  let node = get_node t id in
+  if slot < 0 || slot >= Array.length node.out_slots then
+    invalid_arg "Dyngraph.out_slot: slot out of range";
+  node.out_slots.(slot)
+
 let in_neighbors t id =
   let node = get_node t id in
   Hashtbl.fold (fun src _ acc -> src :: acc) node.in_edges []
@@ -241,6 +247,29 @@ let neighbors t id =
     node.out_slots;
   Hashtbl.iter (fun src _ -> Hashtbl.replace seen src ()) node.in_edges;
   Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+(* Allocation-free neighborhood iteration for the simulation hot loops.
+   Distinctness without a scratch set: an out-slot target is skipped when it
+   is also an in-neighbor (the in-edge pass will visit it) or when an
+   earlier slot already holds it (O(d^2) scan; d is a small constant). *)
+let iter_neighbors t id f =
+  let node = get_node t id in
+  let slots = node.out_slots in
+  for i = 0 to Array.length slots - 1 do
+    let v = slots.(i) in
+    if v >= 0 && not (Hashtbl.mem node.in_edges v) then begin
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if slots.(j) = v then dup := true
+      done;
+      if not !dup then f v
+    end
+  done;
+  Hashtbl.iter (fun src _ -> f src) node.in_edges
+
+let iter_in_neighbors t id f =
+  let node = get_node t id in
+  Hashtbl.iter (fun src _ -> f src) node.in_edges
 
 let degree t id = List.length (neighbors t id)
 

@@ -99,11 +99,25 @@ val out_slots_raw : t -> node_id -> node_id array
     Definition 4.3 verify that a specific edge survived a whole unit
     time interval. *)
 
+val out_slot : t -> node_id -> int -> node_id
+(** [out_slot t id i] is the current target of slot [i] of [id] (-1 =
+    empty), without copying the slot array.  Raises [Invalid_argument] on
+    a slot index outside [0, d). *)
+
 val in_neighbors : t -> node_id -> node_id list
 (** Distinct alive in-neighbors. *)
 
 val neighbors : t -> node_id -> node_id list
 (** Distinct neighbors = out targets U in-neighbors. *)
+
+val iter_neighbors : t -> node_id -> (node_id -> unit) -> unit
+(** [iter_neighbors t id f] calls [f] exactly once per distinct neighbor
+    of [id] (same set as {!neighbors}, unspecified order) without
+    allocating.  [f] must not mutate the graph. *)
+
+val iter_in_neighbors : t -> node_id -> (node_id -> unit) -> unit
+(** Allocation-free {!in_neighbors} (distinct, unspecified order).  [f]
+    must not mutate the graph. *)
 
 val degree : t -> node_id -> int
 (** Number of distinct neighbors. *)

@@ -132,8 +132,16 @@ let boundary t set =
     set;
   Array.of_list !acc
 
-let boundary_size t set =
-  let seen = Bitset.create (n t) in
+let boundary_size ?scratch t set =
+  let seen =
+    match scratch with
+    | Some b ->
+        if Bitset.capacity b < n t then
+          invalid_arg "Snapshot.boundary_size: scratch capacity below n";
+        Bitset.clear b;
+        b
+    | None -> Bitset.create (n t)
+  in
   let count = ref 0 in
   Bitset.iter
     (fun u ->
@@ -147,9 +155,10 @@ let boundary_size t set =
     set;
   !count
 
-let expansion t set =
+let expansion ?scratch t set =
   let s = Bitset.cardinal set in
-  if s = 0 then nan else float_of_int (boundary_size t set) /. float_of_int s
+  if s = 0 then nan
+  else float_of_int (boundary_size ?scratch t set) /. float_of_int s
 
 let set_of_indices t indices =
   let set = Bitset.create (n t) in

@@ -49,9 +49,15 @@ val boundary : t -> Churnet_util.Bitset.t -> int array
 (** Outer boundary of a set of snapshot indices:
     [∂out(S) = { v ∉ S : ∃ u ∈ S, {u,v} ∈ E }]. *)
 
-val boundary_size : t -> Churnet_util.Bitset.t -> int
-val expansion : t -> Churnet_util.Bitset.t -> float
-(** [|∂out(S)| / |S|]; [nan] on the empty set. *)
+val boundary_size : ?scratch:Churnet_util.Bitset.t -> t -> Churnet_util.Bitset.t -> int
+(** [scratch], when given, is cleared and used as the dedup set instead of
+    allocating a fresh bitset per call (its capacity must be >= [n]).
+    The expansion probe calls this once per candidate set, so the reuse
+    matters. *)
+
+val expansion : ?scratch:Churnet_util.Bitset.t -> t -> Churnet_util.Bitset.t -> float
+(** [|∂out(S)| / |S|]; [nan] on the empty set.  [scratch] as in
+    {!boundary_size}. *)
 
 val set_of_indices : t -> int array -> Churnet_util.Bitset.t
 (** Bitset over snapshot indices. *)

@@ -1,4 +1,4 @@
-type t = { words : Bytes.t; capacity : int; mutable cardinal : int }
+type t = { mutable words : Bytes.t; mutable capacity : int; mutable cardinal : int }
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
@@ -8,6 +8,17 @@ let capacity t = t.capacity
 
 let check t i =
   if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let ensure_capacity t capacity =
+  if capacity < 0 then invalid_arg "Bitset.ensure_capacity"
+  else if capacity > t.capacity then begin
+    (* Amortized doubling so hot loops that grow one id at a time stay O(1). *)
+    let capacity = max capacity (2 * t.capacity) in
+    let words = Bytes.make ((capacity + 7) / 8) '\000' in
+    Bytes.blit t.words 0 words 0 (Bytes.length t.words);
+    t.words <- words;
+    t.capacity <- capacity
+  end
 
 let mem t i =
   check t i;
@@ -38,6 +49,12 @@ let clear t =
   t.cardinal <- 0
 
 let iter f t =
-  for i = 0 to t.capacity - 1 do
-    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  (* Skip all-zero bytes: dominant when the set is sparse in a large id
+     space (e.g. the informed set early in a flood). *)
+  for b = 0 to Bytes.length t.words - 1 do
+    let byte = Char.code (Bytes.get t.words b) in
+    if byte <> 0 then
+      for o = 0 to 7 do
+        if byte land (1 lsl o) <> 0 then f ((b lsl 3) lor o)
+      done
   done

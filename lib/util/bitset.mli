@@ -1,13 +1,29 @@
-(** Compact fixed-capacity bitset over 0..capacity-1.
-    Used for informed-set membership during large floods. *)
+(** Compact bitset over 0..capacity-1.
+    Used for informed-set membership during large floods.
+
+    The capacity is fixed by {!create} but can be raised explicitly with
+    {!ensure_capacity} (amortized-O(1) doubling), which lets flooding
+    simulations track node ids that keep growing with churn.  All other
+    operations raise [Invalid_argument] outside [0, capacity). *)
 
 type t
 
 val create : int -> t
 val capacity : t -> int
+
+val ensure_capacity : t -> int -> unit
+(** [ensure_capacity t c] grows the index space to at least [c] (to at
+    least double the current capacity when growing, so repeated one-id
+    extensions stay amortized O(1)).  Existing members are preserved;
+    shrinking never happens. *)
+
 val mem : t -> int -> bool
 val add : t -> int -> unit
 val remove : t -> int -> unit
 val cardinal : t -> int
 val clear : t -> unit
+
 val iter : (int -> unit) -> t -> unit
+(** Ascending order.  [f] may remove the element it was just called on
+    (each byte of the underlying store is snapshotted before its bits are
+    visited); any other concurrent mutation is unspecified. *)

@@ -1,0 +1,26 @@
+type t = { mutable buf : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Intvec.create";
+  { buf = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+let clear t = t.len <- 0
+
+let push t v =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intvec.get";
+  t.buf.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done

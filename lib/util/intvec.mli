@@ -1,0 +1,18 @@
+(** Growable int vector with O(1) amortized push and O(1) reuse via
+    {!clear} (no shrinking).  The simulation kernels keep one per run as
+    scratch space, so the per-round hot loops allocate nothing. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 16) is the initial backing-store size; must be
+    >= 1. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Logical reset; the backing store is kept for reuse. *)
+
+val push : t -> int -> unit
+val get : t -> int -> int
+val iter : (int -> unit) -> t -> unit

@@ -1,15 +1,27 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+let domains_from_env () =
+  match Sys.getenv_opt "CHURNET_DOMAINS" with
+  | None | Some "" -> recommended_domains ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "CHURNET_DOMAINS=%S: expected a positive integer" s))
+
 let map ?domains f xs =
   let n = Array.length xs in
   let domains =
-    match domains with Some d -> max 1 d | None -> recommended_domains ()
+    match domains with Some d -> max 1 d | None -> domains_from_env ()
   in
   if n = 0 then [||]
   else if domains <= 1 || n = 1 then Array.map f xs
   else begin
     let workers = min domains n in
     let results = Array.make n None in
+    (* First failure wins: later failures in other domains are dropped, and
+       the winning exception is re-raised with its original backtrace. *)
     let failure = Atomic.make None in
     let chunk = (n + workers - 1) / workers in
     let run lo hi () =
@@ -17,7 +29,9 @@ let map ?domains f xs =
         for i = lo to hi do
           results.(i) <- Some (f xs.(i))
         done
-      with exn -> Atomic.set failure (Some exn)
+      with exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (exn, bt)))
     in
     let handles =
       List.init workers (fun w ->
@@ -26,8 +40,19 @@ let map ?domains f xs =
           if lo > hi then None else Some (Domain.spawn (run lo hi)))
     in
     List.iter (function Some h -> Domain.join h | None -> ()) handles;
-    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    (match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
 
 let init ?domains n f = map ?domains f (Array.init n Fun.id)
+
+let replicate ?domains ~rng ~trials f =
+  if trials < 0 then invalid_arg "Parallel.replicate: trials must be >= 0";
+  (* Pre-split one generator per trial *in trial order* before any domain
+     is spawned: the sub-streams — hence the results — are identical
+     whatever the domain count, and identical to a serial
+     [for _ = 1 to trials do ... (Prng.split rng) ... done] loop. *)
+  let trial_rngs = Array.init trials (fun _ -> Prng.split rng) in
+  map ?domains f trial_rngs

@@ -10,11 +10,26 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8 (the experiments are
     memory-bandwidth-bound beyond that). *)
 
+val domains_from_env : unit -> int
+(** The default worker count: [CHURNET_DOMAINS] if set (must be a positive
+    integer, [Invalid_argument] otherwise), else {!recommended_domains}.
+    Read at every call, so the environment can be changed between runs. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f xs] with the results in input order.  [f] must be safe to run
     concurrently on distinct elements (no shared mutable state — in
-    particular, no shared {!Prng.t}).  Exceptions raised by [f] are
-    re-raised in the caller. *)
+    particular, no shared {!Prng.t}).  If several elements fail, the
+    first exception {e reported} wins (later failures are dropped) and is
+    re-raised in the caller with its backtrace preserved. *)
 
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)
+
+val replicate : ?domains:int -> rng:Prng.t -> trials:int -> (Prng.t -> 'a) -> 'a array
+(** [replicate ~rng ~trials f] runs [trials] independent replications of
+    [f], each on its own generator pre-split from [rng] in trial order
+    before any domain starts.  Consequently the result array is
+    order-stable and bit-identical across every [domains] setting —
+    including the serial [domains:1] path — and identical to the
+    historical serial loop [for _ = 1 to trials do ... f (Prng.split rng) ... done].
+    [rng] is advanced by exactly [trials] splits. *)

@@ -68,6 +68,44 @@ let test_heavy_deaths () =
   check_bool "equal after heavy deaths" true
     (snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r))
 
+(* The allocation-free neighbor iterators must visit exactly the distinct
+   neighbor set of the list-returning queries — same elements, no
+   duplicates — on every alive node of an arbitrarily churned graph. *)
+let iterators_agree g =
+  let ok = ref true in
+  Dyngraph.iter_alive g (fun id ->
+      let via_iter = ref [] in
+      Dyngraph.iter_neighbors g id (fun v -> via_iter := v :: !via_iter);
+      let no_dups =
+        List.length (List.sort_uniq compare !via_iter) = List.length !via_iter
+      in
+      if not no_dups then ok := false;
+      if List.sort compare !via_iter <> List.sort compare (Dyngraph.neighbors g id)
+      then ok := false;
+      let via_in = ref [] in
+      Dyngraph.iter_in_neighbors g id (fun v -> via_in := v :: !via_in);
+      let in_no_dups =
+        List.length (List.sort_uniq compare !via_in) = List.length !via_in
+      in
+      if not in_no_dups then ok := false;
+      if List.sort compare !via_in <> List.sort compare (Dyngraph.in_neighbors g id)
+      then ok := false);
+  !ok
+
+let test_iter_neighbors_mixed_script () =
+  let rng = Prng.create 8 in
+  let script = List.init 250 (fun _ -> Prng.bernoulli rng 0.4) in
+  let g, _ = run_pair ~seed:19 ~script in
+  check_bool "iterators agree with list queries" true (iterators_agree g)
+
+let test_iter_neighbors_heavy_deaths () =
+  let rng = Prng.create 9 in
+  let script =
+    List.init 80 (fun _ -> false) @ List.init 200 (fun _ -> Prng.bernoulli rng 0.7)
+  in
+  let g, _ = run_pair ~seed:23 ~script in
+  check_bool "iterators agree after heavy deaths" true (iterators_agree g)
+
 let qcheck_props =
   [
     QCheck.Test.make ~name:"dyngraph == reference oracle on random scripts" ~count:60
@@ -75,6 +113,11 @@ let qcheck_props =
       (fun (seed, script) ->
         let g, r = run_pair ~seed ~script in
         snapshots_equal (Dyngraph.snapshot g) (Reference_graph.snapshot r));
+    QCheck.Test.make ~name:"iter_neighbors == neighbors on random scripts" ~count:60
+      QCheck.(pair small_int (list_of_size (Gen.int_range 10 150) bool))
+      (fun (seed, script) ->
+        let g, _ = run_pair ~seed ~script in
+        iterators_agree g);
   ]
 
 let suite =
@@ -82,5 +125,7 @@ let suite =
     ("pure births", `Quick, test_pure_births);
     ("mixed churn", `Quick, test_mixed_script);
     ("heavy deaths", `Quick, test_heavy_deaths);
+    ("iter_neighbors mixed churn", `Quick, test_iter_neighbors_mixed_script);
+    ("iter_neighbors heavy deaths", `Quick, test_iter_neighbors_heavy_deaths);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props

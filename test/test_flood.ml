@@ -230,6 +230,72 @@ let test_streaming_population_constant_during_flood () =
     (fun pop -> check_int "population pinned at n" 300 pop)
     tr.population_per_round
 
+(* An extinct trace must stop at the extinction round (not run on to the
+   round budget), flag [extinct], and end with zero informed nodes. *)
+let check_extinct_trace (tr : Flood.trace) =
+  check_bool "not completed" true (not tr.completed);
+  check_bool "no completion round" true (tr.completion_round = None);
+  check_int "last log entry is 0 informed" 0
+    tr.informed_per_round.(Array.length tr.informed_per_round - 1);
+  match tr.extinction_round with
+  | None -> Alcotest.fail "extinct trace without extinction_round"
+  | Some r -> check_int "trace ends at extinction round" r tr.rounds
+
+let test_streaming_extinction_trace () =
+  (* SDG with d = 1: some floods die out entirely (Theorem 3.7 regime). *)
+  let extinct = ref 0 in
+  for seed = 1 to 40 do
+    let m = sdg ~seed ~n:200 ~d:1 () in
+    let tr = Flood.run_streaming ~max_rounds:400 m in
+    if tr.extinct then begin
+      incr extinct;
+      check_extinct_trace tr;
+      check_bool "stopped before budget" true (tr.rounds < 400)
+    end
+  done;
+  check_bool "saw at least one extinction" true (!extinct >= 1)
+
+let test_discretized_extinction_trace () =
+  (* PDG with d = 1 and no regeneration: the flood stalls in the source's
+     small component, whose members all die within O(n log) time (node
+     lifetimes are ~n time units), so the informed set dies out. *)
+  let extinct = ref 0 in
+  for seed = 1 to 30 do
+    let m = Poisson_model.create ~rng:(Prng.create seed) ~n:40 ~d:1 ~regenerate:false () in
+    Poisson_model.warm_up m;
+    let tr = Flood.run_poisson_discretized ~max_rounds:800 m in
+    if tr.extinct then begin
+      incr extinct;
+      check_extinct_trace tr
+    end
+  done;
+  check_bool "saw at least one extinction" true (!extinct >= 1)
+
+let test_async_no_delivery_past_deadline () =
+  (* The earliest possible delivery is at source time + 1, so with a
+     deadline of 0.5 nobody besides the source can ever be informed. *)
+  for seed = 1 to 5 do
+    let m = pdgr ~seed ~n:150 () in
+    let r = Flood.Async.run ~max_time:0.5 m in
+    check_bool "not completed" true (not r.completed);
+    check_int "only the source informed" 1 r.informed_total
+  done
+
+let test_async_completion_time_from_completing_event () =
+  (* completion_time is stamped by the event that completed coverage, so
+     it is at least one delivery delay and never past the deadline. *)
+  let max_time = 100. in
+  for seed = 28 to 32 do
+    let m = pdgr ~seed ~n:200 () in
+    let r = Flood.Async.run ~max_time m in
+    if r.completed then
+      match r.completion_time with
+      | None -> Alcotest.fail "completed without completion time"
+      | Some t ->
+          check_bool "at least one delivery delay" true (t >= 1.);
+          check_bool "within deadline" true (t <= max_time)
+  done
+
 let suite =
   suite
   @ [
@@ -237,4 +303,9 @@ let suite =
       ("discretized max_rounds", `Quick, test_discretized_max_rounds);
       ("async max_time", `Quick, test_async_max_time_respected);
       ("population constant during flood", `Quick, test_streaming_population_constant_during_flood);
+      ("streaming extinction trace", `Slow, test_streaming_extinction_trace);
+      ("discretized extinction trace", `Slow, test_discretized_extinction_trace);
+      ("async: no delivery past deadline", `Quick, test_async_no_delivery_past_deadline);
+      ("async: completion time from completing event", `Quick,
+       test_async_completion_time_from_completing_event);
     ]

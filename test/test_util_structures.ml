@@ -314,6 +314,48 @@ let test_parallel_recommended () =
   let d = Parallel.recommended_domains () in
   check_bool "within [1,8]" true (d >= 1 && d <= 8)
 
+let test_replicate_bit_identical_across_domains () =
+  (* The replication layer pre-splits one PRNG per trial in trial order,
+     so the results must be bit-identical at any domain count — and equal
+     to the historical serial loop (split then run, one trial at a
+     time). *)
+  let trial r = Array.init 16 (fun _ -> Prng.int r 1_000_000) in
+  let run domains =
+    let rng = Prng.create 2024 in
+    Parallel.replicate ~domains ~rng ~trials:32 trial
+  in
+  let reference =
+    let rng = Prng.create 2024 in
+    let out = Array.make 32 [||] in
+    for i = 0 to 31 do
+      let r = Prng.split rng in
+      out.(i) <- trial r
+    done;
+    out
+  in
+  let serial = run 1 in
+  let par = run 4 in
+  check_int "same trial count" (Array.length serial) (Array.length par);
+  Array.iteri
+    (fun i xs ->
+      Alcotest.(check (array int)) "domains:1 = serial loop" reference.(i) xs;
+      Alcotest.(check (array int)) "domains:1 = domains:4" xs par.(i))
+    serial
+
+let test_replicate_consumes_rng_like_serial_loop () =
+  (* After [replicate ~trials:k] the caller's rng must be in the same
+     state as after k serial splits, so code following a converted trial
+     loop sees an unchanged stream. *)
+  let rng_a = Prng.create 7 in
+  ignore (Parallel.replicate ~domains:3 ~rng:rng_a ~trials:5 (fun r -> Prng.int r 100));
+  let rng_b = Prng.create 7 in
+  for _ = 1 to 5 do
+    ignore (Prng.split rng_b)
+  done;
+  Alcotest.(check (list int)) "same downstream stream"
+    (List.init 10 (fun _ -> Prng.int rng_b 1_000_000))
+    (List.init 10 (fun _ -> Prng.int rng_a 1_000_000))
+
 let suite =
   suite
   @ [
@@ -323,4 +365,8 @@ let suite =
       ("parallel exceptions", `Quick, test_parallel_exception_propagates);
       ("parallel init", `Quick, test_parallel_init);
       ("parallel recommended", `Quick, test_parallel_recommended);
+      ("replicate bit-identical across domains", `Quick,
+       test_replicate_bit_identical_across_domains);
+      ("replicate consumes rng like serial loop", `Quick,
+       test_replicate_consumes_rng_like_serial_loop);
     ]
