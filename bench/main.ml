@@ -16,6 +16,8 @@ open Bechamel.Toolkit
 module Registry = Churnet_experiments.Registry
 module Report = Churnet_experiments.Report
 module Scale = Churnet_experiments.Scale
+module Telemetry = Churnet_experiments.Telemetry
+module Json = Churnet_util.Json
 module Models = Churnet_core.Models
 module Prng = Churnet_util.Prng
 
@@ -38,6 +40,14 @@ let seed =
    bit-identical whatever this is set to. *)
 let domains = Churnet_util.Parallel.domains_from_env ()
 
+(* Where the machine-readable trajectory goes: per-experiment wall time
+   and GC deltas, every check, and the Bechamel estimates — one file per
+   (seed, scale) so runs are diffable across commits. *)
+let bench_json_path =
+  match Sys.getenv_opt "CHURNET_BENCH_JSON" with
+  | Some p -> p
+  | None -> Printf.sprintf "BENCH_%d_%s.json" seed (Scale.to_string scale)
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate Table 1 and the figures.                         *)
 (* ------------------------------------------------------------------ *)
@@ -48,25 +58,28 @@ let run_experiments () =
      Regenerating Table 1 (E1-E12), figures (F1-F14), extensions\n\
      (X1-X3, A1) and theory checks (T1, R1).\n%!"
     (Scale.to_string scale) seed domains;
-  let reports =
+  let timed =
     List.map
       (fun (e : Registry.entry) ->
         Printf.printf "... %s %s\n%!" e.id e.title;
-        let t0 = Unix.gettimeofday () in
-        let r = e.run ~seed ~scale in
-        Printf.printf "    done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
-        r)
+        let (r, tm) =
+          Telemetry.measure ~seed ~scale ~domains (fun () -> e.run ~seed ~scale)
+        in
+        Printf.printf "    done in %.1fs\n%!" tm.Telemetry.wall_seconds;
+        (r, tm))
       Registry.all
   in
+  let reports = List.map fst timed in
   List.iter (fun r -> print_string (Report.render r)) reports;
   print_newline ();
   print_endline "==================== SUMMARY ====================";
   Churnet_util.Table.print (Registry.summary reports);
   let failed = List.filter (fun r -> not (Report.all_hold r)) reports in
-  if failed = [] then print_endline "All paper-direction checks hold."
-  else
-    Printf.printf "%d experiment(s) with failing checks: %s\n" (List.length failed)
-      (String.concat ", " (List.map (fun (r : Report.t) -> r.id) failed))
+  (if failed = [] then print_endline "All paper-direction checks hold."
+   else
+     Printf.printf "%d experiment(s) with failing checks: %s\n" (List.length failed)
+       (String.concat ", " (List.map (fun (r : Report.t) -> r.id) failed)));
+  timed
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the core primitives.           *)
@@ -147,28 +160,68 @@ let run_bechamel () =
   let raw = Benchmark.all cfg instances grouped in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let merged = Analyze.merge ols instances results in
-  let table = Churnet_util.Table.create [ "benchmark"; "time per run" ] in
-  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
-  | None -> ()
-  | Some by_name ->
-      let rows =
-        Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_name []
-      in
-      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-      List.iter
-        (fun (name, ols_result) ->
-          let estimate =
+  let estimates =
+    match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+    | None -> []
+    | Some by_name ->
+        let rows =
+          Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_name []
+        in
+        let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+        List.map
+          (fun (name, ols_result) ->
             match Analyze.OLS.estimates ols_result with
-            | Some (t :: _) ->
-                if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-                else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-                else Printf.sprintf "%.0f ns" t
-            | _ -> "n/a"
-          in
-          Churnet_util.Table.add_row table [ name; estimate ])
-        rows);
-  Churnet_util.Table.print table
+            | Some (t :: _) -> (name, Some t)
+            | _ -> (name, None))
+          rows
+  in
+  let table = Churnet_util.Table.create [ "benchmark"; "time per run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let estimate =
+        match ns with
+        | Some t ->
+            if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+            else Printf.sprintf "%.0f ns" t
+        | None -> "n/a"
+      in
+      Churnet_util.Table.add_row table [ name; estimate ])
+    estimates;
+  Churnet_util.Table.print table;
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* The machine-readable trajectory: BENCH_<seed>_<scale>.json.         *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench_json timed estimates =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "churnet-bench/1");
+        ("seed", Json.Int seed);
+        ("scale", Json.String (Scale.to_string scale));
+        ("domains", Json.Int domains);
+        ( "experiments",
+          Json.Arr
+            (List.map (fun (r, tm) -> Report.to_json ~telemetry:tm r) timed) );
+        ( "microbenchmarks",
+          Json.Arr
+            (List.map
+               (fun (name, ns) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("ns_per_run", Json.float_opt ns);
+                   ])
+               estimates) );
+      ]
+  in
+  Json.write_file ~pretty:true bench_json_path doc;
+  Printf.printf "\nwrote %s\n" bench_json_path
 
 let () =
-  run_experiments ();
-  run_bechamel ()
+  let timed = run_experiments () in
+  let estimates = run_bechamel () in
+  write_bench_json timed estimates

@@ -4,6 +4,7 @@ open Cmdliner
 module Registry = Churnet_experiments.Registry
 module Report = Churnet_experiments.Report
 module Scale = Churnet_experiments.Scale
+module Telemetry = Churnet_experiments.Telemetry
 
 let seed_arg =
   let doc = "PRNG seed (every run is deterministic given the seed)." in
@@ -35,6 +36,21 @@ let apply_domains = function
 let csv_arg =
   let doc = "Also write every table of the report(s) as CSV files into $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let json_arg =
+  let doc =
+    "Also write the structured report(s) — checks with typed \
+     expected/measured values, tables, figures and per-experiment \
+     telemetry (wall-clock, GC deltas) — as JSON to $(docv).  The text \
+     rendering is unchanged."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let write_json path ~seed ~scale timed =
+  let domains = Churnet_util.Parallel.domains_from_env () in
+  let doc = Registry.reports_to_json ~seed ~scale ~domains timed in
+  Churnet_util.Json.write_file ~pretty:true path doc;
+  Printf.printf "wrote %s\n" path
 
 let write_csvs dir (report : Report.t) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -76,28 +92,33 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E1, F3).")
   in
-  let run id seed scale csv domains =
+  let run id seed scale csv json domains =
     apply_domains domains;
     match Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `churnet list`\n" id;
         exit 1
     | Some e ->
-        let report = e.run ~seed ~scale in
+        let report, telemetry =
+          Telemetry.measure ~seed ~scale (fun () -> e.run ~seed ~scale)
+        in
         print_string (Report.render report);
         (match csv with Some dir -> write_csvs dir report | None -> ());
+        (match json with
+        | Some path -> write_json path ~seed ~scale [ (report, telemetry) ]
+        | None -> ());
         if not (Report.all_hold report) then exit 2
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured report.")
-    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg $ domains_arg)
+    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg)
 
 let all_cmd =
   let group_arg =
     let doc = "Restrict to a group: table1, figures, extensions or theory." in
     Arg.(value & opt (some string) None & info [ "group" ] ~docv:"GROUP" ~doc)
   in
-  let run group seed scale csv domains =
+  let run group seed scale csv json domains =
     apply_domains domains;
     let entries =
       match group with
@@ -110,23 +131,27 @@ let all_cmd =
           exit 1
       | None -> Registry.all
     in
-    let reports =
+    let timed =
       List.map
         (fun (e : Registry.entry) ->
           Printf.printf "... running %s (%s)\n%!" e.id e.title;
-          e.run ~seed ~scale)
+          Telemetry.measure ~seed ~scale (fun () -> e.run ~seed ~scale))
         entries
     in
+    let reports = List.map fst timed in
     List.iter (fun r -> print_string (Report.render r)) reports;
     (match csv with
     | Some dir -> List.iter (write_csvs dir) reports
+    | None -> ());
+    (match json with
+    | Some path -> write_json path ~seed ~scale timed
     | None -> ());
     print_newline ();
     Churnet_util.Table.print (Registry.summary reports);
     if not (List.for_all Report.all_hold reports) then exit 2
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment and print a roll-up summary.")
-    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg $ domains_arg)
+    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg)
 
 let demo_cmd =
   let run seed =

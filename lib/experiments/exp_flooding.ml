@@ -60,9 +60,11 @@ let e7 ~seed ~scale =
   Report.make ~id:"E7" ~title:"Flooding in SDG fails with constant probability (Theorem 3.7)"
     ~tables:[ table ]
     [
-      Report.check ~claim:"flooding stalls at <= d+1 informed nodes with probability Omega_d(1)"
+      Report.check_values
+        ~claim:"flooding stalls at <= d+1 informed nodes with probability Omega_d(1)"
         ~expected:"a clearly positive stall fraction at small d"
         ~measured:(Printf.sprintf "d=1: %.1f%%, d=3: %.1f%%" (100. *. d1_stall) (100. *. d3_stall))
+        ~expected_value:0.02 ~measured_value:d1_stall
         ~holds:(d1_stall > 0.02);
       Report.check ~claim:"stall probability decreases with d (the Omega(e^{-d^2}) shape)"
         ~expected:"stall fraction at d=3 below d=1"
@@ -128,7 +130,7 @@ let coverage_experiment ~id ~title kind ~exponent_divisor ~seed ~scale =
         ];
       if d = 16 then
         checks :=
-          Report.check
+          Report.check_values
             ~claim:
               (Printf.sprintf
                  "%s flooding informs a (1 - e^{-d/%g}) fraction within O(log n) rounds"
@@ -139,6 +141,7 @@ let coverage_experiment ~id ~title kind ~exponent_divisor ~seed ~scale =
             ~measured:
               (Printf.sprintf "%.0f%% of trials, mean %.1f rounds" (100. *. frac)
                  (Stats.Acc.mean rounds_acc))
+            ~expected_value:0.7 ~measured_value:frac
             ~holds:(frac >= 0.7)
           :: !checks)
     [ 8; 16; 24 ];

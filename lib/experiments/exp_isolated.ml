@@ -63,7 +63,7 @@ let run_isolated ~id ~title kind ~seed ~scale =
         ];
       if d = 2 then begin
         checks :=
-          Report.check
+          Report.check_values
             ~claim:
               (Printf.sprintf
                  "%s snapshots contain Omega(n e^{-2d}) isolated nodes (d = %d)"
@@ -71,13 +71,15 @@ let run_isolated ~id ~title kind ~seed ~scale =
                  d)
             ~expected:(Printf.sprintf ">= %.1f isolated nodes" bound)
             ~measured:(Printf.sprintf "%.1f isolated nodes on average" mean_isolated)
+            ~expected_value:bound ~measured_value:mean_isolated
             ~holds:(mean_isolated >= bound)
           :: !checks;
         checks :=
-          Report.check
+          Report.check_values
             ~claim:"isolated nodes remain isolated for the rest of their lifetime"
             ~expected:"a constant fraction of them stay isolated until death"
             ~measured:(Printf.sprintf "%.1f%% of tracked isolated nodes stayed isolated" (100. *. forever))
+            ~expected_value:0.25 ~measured_value:forever
             ~holds:(forever > 0.25)
           :: !checks
       end)

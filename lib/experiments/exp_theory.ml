@@ -68,13 +68,17 @@ let t1 ~seed:_ ~scale =
           (Printf.sprintf "d=3: %.2e, d=2: %.2e" (Bounds.union_bound_static ~n ~d:3)
              static_d2)
         ~holds:(!static_ok && static_d2 > 1.);
-      Report.check ~claim:"Lemma 6.4: the SDGR small-set union bound is <= 1/n^4 at d = 21"
+      Report.check_values
+        ~claim:"Lemma 6.4: the SDGR small-set union bound is <= 1/n^4 at d = 21"
         ~expected:(Printf.sprintf "<= %.2e" n4)
         ~measured:(Printf.sprintf "%.2e" sdgr_small)
+        ~expected_value:n4 ~measured_value:sdgr_small
         ~holds:(sdgr_small <= n4);
-      Report.check ~claim:"Lemma 3.6: the SDG large-set union bound is <= 1/n^4 at d = 20"
+      Report.check_values
+        ~claim:"Lemma 3.6: the SDG large-set union bound is <= 1/n^4 at d = 20"
         ~expected:(Printf.sprintf "<= %.2e" n4)
         ~measured:(Printf.sprintf "%.2e" sdg_large)
+        ~expected_value:n4 ~measured_value:sdg_large
         ~holds:(sdg_large <= n4);
       Report.check
         ~claim:"Section 4.3.1: the q_m comparison distribution has total mass <= 1 (d >= 30, k <= n/14)"

@@ -86,17 +86,44 @@ let figures = List.filter (fun e -> e.group = "figures") all
 let extensions = List.filter (fun e -> e.group = "extensions") all
 let theory = List.filter (fun e -> e.group = "theory") all
 
+(* Resolve an id filter, refusing to silently drop anything: a misspelled
+   id used to shrink the result list with no error at all. *)
+let select ?ids () =
+  match ids with
+  | None -> all
+  | Some wanted ->
+      let wanted = List.map String.uppercase_ascii wanted in
+      let known id = List.exists (fun e -> String.uppercase_ascii e.id = id) all in
+      let unknown = List.filter (fun id -> not (known id)) wanted in
+      if unknown <> [] then
+        invalid_arg
+          (Printf.sprintf
+             "Registry.run_all: unknown experiment id(s): %s (valid ids: %s)"
+             (String.concat ", " unknown)
+             (String.concat ", " (List.map (fun e -> e.id) all)));
+      List.filter (fun e -> List.mem (String.uppercase_ascii e.id) wanted) all
+
 let run_all ?ids ~seed ~scale () =
-  let selected =
-    match ids with
-    | None -> all
-    | Some wanted ->
-        let wanted = List.map String.uppercase_ascii wanted in
-        List.filter (fun e -> List.mem (String.uppercase_ascii e.id) wanted) all
-  in
-  List.map (fun e -> e.run ~seed ~scale) selected
+  List.map (fun e -> e.run ~seed ~scale) (select ?ids ())
+
+let run_timed ?ids ~seed ~scale () =
+  List.map
+    (fun e -> Telemetry.measure ~seed ~scale (fun () -> e.run ~seed ~scale))
+    (select ?ids ())
 
 let summary reports =
   let table = Churnet_util.Table.create [ "id"; "experiment"; "result" ] in
   List.iter (fun r -> Churnet_util.Table.add_row table (Report.summary_row r)) reports;
   table
+
+let reports_to_json ~seed ~scale ~domains timed =
+  let module Json = Churnet_util.Json in
+  Json.Obj
+    [
+      ("schema", Json.String "churnet-report/1");
+      ("seed", Json.Int seed);
+      ("scale", Json.String (Scale.to_string scale));
+      ("domains", Json.Int domains);
+      ( "reports",
+        Json.Arr (List.map (fun (r, tm) -> Report.to_json ~telemetry:tm r) timed) );
+    ]

@@ -22,7 +22,29 @@ val theory : entry list
 val run_all :
   ?ids:string list -> seed:int -> scale:Scale.t -> unit -> Report.t list
 (** Run the selected experiments (default: all) and return their reports
-    in registry order. *)
+    in registry order.  Ids are matched case-insensitively; raises
+    [Invalid_argument] naming every unknown id (and the valid ones)
+    instead of silently dropping it. *)
+
+val run_timed :
+  ?ids:string list ->
+  seed:int ->
+  scale:Scale.t ->
+  unit ->
+  (Report.t * Telemetry.t) list
+(** Like {!run_all} but wraps each experiment in
+    {!Telemetry.measure}, pairing every report with its wall-clock and
+    GC telemetry.  Same id validation. *)
 
 val summary : Report.t list -> Churnet_util.Table.t
 (** Build the final roll-up table of check outcomes. *)
+
+val reports_to_json :
+  seed:int ->
+  scale:Scale.t ->
+  domains:int ->
+  (Report.t * Telemetry.t) list ->
+  Churnet_util.Json.t
+(** The envelope the CLI writes for [--json]: schema tag
+    ["churnet-report/1"], run configuration, and one
+    {!Report.to_json} (with telemetry) per report. *)

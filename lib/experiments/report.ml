@@ -1,4 +1,13 @@
-type check = { claim : string; expected : string; measured : string; holds : bool }
+module Json = Churnet_util.Json
+
+type check = {
+  claim : string;
+  expected : string;
+  measured : string;
+  expected_value : float option;
+  measured_value : float option;
+  holds : bool;
+}
 
 type t = {
   id : string;
@@ -8,7 +17,18 @@ type t = {
   figures : string list;
 }
 
-let check ~claim ~expected ~measured ~holds = { claim; expected; measured; holds }
+let check ~claim ~expected ~measured ~holds =
+  { claim; expected; measured; expected_value = None; measured_value = None; holds }
+
+let check_values ~claim ~expected ~measured ~expected_value ~measured_value ~holds =
+  {
+    claim;
+    expected;
+    measured;
+    expected_value = Some expected_value;
+    measured_value = Some measured_value;
+    holds;
+  }
 
 let make ~id ~title ?(tables = []) ?(figures = []) checks =
   { id; title; checks; tables; figures }
@@ -42,3 +62,32 @@ let summary_row t =
   let total = List.length t.checks in
   let ok = List.length (List.filter (fun c -> c.holds) t.checks) in
   [ t.id; t.title; Printf.sprintf "%d/%d checks hold" ok total ]
+
+let check_to_json c =
+  Json.Obj
+    [
+      ("claim", Json.String c.claim);
+      ("expected", Json.String c.expected);
+      ("measured", Json.String c.measured);
+      ("expected_value", Json.float_opt c.expected_value);
+      ("measured_value", Json.float_opt c.measured_value);
+      ("holds", Json.Bool c.holds);
+    ]
+
+let to_json ?telemetry t =
+  let base =
+    [
+      ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("all_hold", Json.Bool (all_hold t));
+      ("checks", Json.Arr (List.map check_to_json t.checks));
+      ("tables", Json.Arr (List.map Churnet_util.Table.to_json t.tables));
+      ("figures", Json.Arr (List.map (fun f -> Json.String f) t.figures));
+    ]
+  in
+  let tele =
+    match telemetry with
+    | None -> []
+    | Some tm -> [ ("telemetry", Telemetry.to_json tm) ]
+  in
+  Json.Obj (base @ tele)

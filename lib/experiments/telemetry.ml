@@ -1,0 +1,51 @@
+module Json = Churnet_util.Json
+
+type t = {
+  wall_seconds : float;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  domains : int;
+  seed : int;
+  scale : Scale.t;
+}
+
+let measure ~seed ~scale ?domains f =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Churnet_util.Parallel.domains_from_env ()
+  in
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  ( result,
+    {
+      wall_seconds;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+      domains;
+      seed;
+      scale;
+    } )
+
+let to_json t =
+  Json.Obj
+    [
+      ("wall_seconds", Json.of_finite t.wall_seconds);
+      ("minor_words", Json.of_finite t.minor_words);
+      ("promoted_words", Json.of_finite t.promoted_words);
+      ("major_words", Json.of_finite t.major_words);
+      ("minor_collections", Json.Int t.minor_collections);
+      ("major_collections", Json.Int t.major_collections);
+      ("domains", Json.Int t.domains);
+      ("seed", Json.Int t.seed);
+      ("scale", Json.String (Scale.to_string t.scale));
+    ]

@@ -1,0 +1,29 @@
+(** Per-experiment telemetry: wall-clock time and GC deltas captured
+    around one experiment run, plus the run configuration (seed, scale,
+    domain count) so a serialized report is self-describing.  This is
+    what turns a report into a point on the perf trajectory — the
+    BENCH_*.json files diffable across commits. *)
+
+type t = {
+  wall_seconds : float;  (** elapsed wall-clock time *)
+  minor_words : float;  (** [Gc.quick_stat] delta *)
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  domains : int;  (** worker domains the run was configured with *)
+  seed : int;
+  scale : Scale.t;
+}
+
+val measure :
+  seed:int -> scale:Scale.t -> ?domains:int -> (unit -> 'a) -> 'a * t
+(** [measure ~seed ~scale f] runs [f ()] and returns its result together
+    with the wall-clock/GC telemetry of the call.  [?domains] defaults
+    to [Churnet_util.Parallel.domains_from_env ()].  GC counters come
+    from the calling domain's [Gc.quick_stat], so allocation performed
+    by worker domains is attributed approximately under parallelism. *)
+
+val to_json : t -> Churnet_util.Json.t
+(** Flat object: wall_seconds, minor/promoted/major words, collection
+    counts, domains, seed and scale (as a string). *)

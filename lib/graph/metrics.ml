@@ -123,7 +123,7 @@ let degree_gini snap =
   if n = 0 then nan
   else begin
     let degs = Array.init n (fun v -> float_of_int (Snapshot.degree snap v)) in
-    Array.sort compare degs;
+    Array.sort Float.compare degs;
     let total = Array.fold_left ( +. ) 0. degs in
     if total <= 0. then 0.
     else begin

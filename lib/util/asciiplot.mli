@@ -19,4 +19,6 @@ val plot :
     drop non-positive values. *)
 
 val bar : title:string -> (string * float) list -> string
-(** Horizontal bar chart for labelled magnitudes. *)
+(** Horizontal bar chart for labelled values.  Bars are scaled by the
+    largest absolute value; negative entries render with ['-'] instead
+    of ['#'], and nan entries render as an empty bar. *)

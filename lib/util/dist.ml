@@ -30,36 +30,31 @@ let poisson_pmf mean k =
 let poisson rng mean =
   if mean < 0. then invalid_arg "Dist.poisson: negative mean";
   if mean = 0. then 0
-  else if mean < 30. then begin
-    (* Knuth: multiply uniforms until below e^-mean. *)
-    let l = exp (-.mean) in
-    let rec go k p =
-      let p = p *. Prng.unit_float rng in
-      if p <= l then k else go (k + 1) p
-    in
-    go 0 1.
-  end
   else begin
-    (* Split the mean so each Knuth stage stays cheap and exact. *)
-    let half = mean /. 2. in
-    let a = ref 0 in
-    let rest = ref mean in
-    while !rest > 30. do
-      (* sample Poisson(half) recursively via the small-mean path *)
-      let l = exp (-.half) in
+    (* Knuth (multiply uniforms until below e^-m) is only safe while
+       e^-m stays comfortably above the subnormal range: the running
+       product underflows to 0. before crossing e^-m once m is large
+       (observable from m/2 ≈ 700 upward), silently capping the
+       variate.  e^-30 ≈ 9.4e-14, so 30-sized stages keep every stage
+       exact; Poisson additivity makes the chunked sum exact too. *)
+    let knuth m =
+      let l = exp (-.m) in
       let rec go k p =
         let p = p *. Prng.unit_float rng in
         if p <= l then k else go (k + 1) p
       in
-      a := !a + go 0 1.;
-      rest := !rest -. half
-    done;
-    let l = exp (-. !rest) in
-    let rec go k p =
-      let p = p *. Prng.unit_float rng in
-      if p <= l then k else go (k + 1) p
+      go 0 1.
     in
-    !a + go 0 1.
+    if mean < 30. then knuth mean
+    else begin
+      let acc = ref 0 in
+      let rest = ref mean in
+      while !rest > 30. do
+        acc := !acc + knuth 30.;
+        rest := !rest -. 30.
+      done;
+      !acc + knuth !rest
+    end
   end
 
 let geometric rng p =

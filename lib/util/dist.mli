@@ -9,8 +9,10 @@ val exponential : Prng.t -> float -> float
 
 val poisson : Prng.t -> float -> int
 (** [poisson rng mean] samples a Poisson variate.  Uses Knuth
-    multiplication for small means and the normal-rejection PTRS-lite
-    scheme via inversion-by-search for larger means (exact, O(mean)). *)
+    multiplication for means below 30 and, for larger means, a sum of
+    independent Knuth stages of mean at most 30 each — exact by Poisson
+    additivity, O(mean) time, and immune to the [exp (-.mean)]
+    underflow that silently caps single-stage Knuth at large means. *)
 
 val geometric : Prng.t -> float -> int
 (** [geometric rng p] is the number of failures before the first success of

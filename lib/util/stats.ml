@@ -32,9 +32,14 @@ module Acc = struct
     let half = 1.96 *. stderr_mean t in
     (mean t -. half, mean t +. half)
 
+  let copy t = { n = t.n; mean = t.mean; m2 = t.m2; lo = t.lo; hi = t.hi }
+
+  (* Always a fresh record: returning [a] itself when [b] is empty would
+     alias the mutable input, so a later [add] on the merge result would
+     silently mutate [a]. *)
   let merge a b =
-    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2; lo = b.lo; hi = b.hi }
-    else if b.n = 0 then a
+    if a.n = 0 then copy b
+    else if b.n = 0 then copy a
     else begin
       let n = a.n + b.n in
       let delta = b.mean -. a.mean in
@@ -67,7 +72,7 @@ let quantile xs q =
   if n = 0 then nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     if q <= 0. then sorted.(0)
     else if q >= 1. then sorted.(n - 1)
     else begin
@@ -200,7 +205,7 @@ let ks_statistic xs cdf =
   if n = 0 then nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let fn = float_of_int n in
     let worst = ref 0. in
     Array.iteri

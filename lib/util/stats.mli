@@ -29,7 +29,9 @@ module Acc : sig
   (** Normal-approximation 95% confidence interval for the mean. *)
 
   val merge : t -> t -> t
-  (** Combine two accumulators (parallel composition). *)
+  (** Combine two accumulators (parallel composition).  The result is
+      always a fresh accumulator — never an alias of either input — so
+      adding to it cannot mutate the arguments. *)
 end
 
 (** {1 Batch helpers} *)

@@ -72,6 +72,17 @@ let to_csv t =
   List.iter line (List.rev t.rows);
   Buffer.contents buf
 
+let to_json t =
+  Json.Obj
+    [
+      ("headers", Json.Arr (List.map (fun h -> Json.String h) t.headers));
+      ( "rows",
+        Json.Arr
+          (List.rev_map
+             (fun row -> Json.Arr (List.map (fun c -> Json.String c) row))
+             t.rows) );
+    ]
+
 let print t = print_string (render t)
 
 let fmt_float ?(digits = 4) x =

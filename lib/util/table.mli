@@ -16,6 +16,10 @@ val render : t -> string
 val to_csv : t -> string
 (** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
 
+val to_json : t -> Json.t
+(** [{"headers": [...], "rows": [[...], ...]}] — cells stay the strings
+    that the text rendering shows, so the JSON mirrors the report. *)
+
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
 

@@ -53,6 +53,24 @@ let test_poisson_mean_large () =
   let acc = sample_stats (fun () -> float_of_int (Dist.poisson rng 120.)) 20_000 in
   check_bool "large mean near 120" true (Float.abs (Stats.Acc.mean acc -. 120.) < 1.0)
 
+let test_poisson_mean_huge () =
+  (* Regression: single-stage Knuth underflows exp(-mean) for mean ≳ 1400
+     and silently capped every sample near 745.  With chunked ≤30 stages
+     the sample mean and variance must both sit within 5 sigma of 2000. *)
+  let rng = Prng.create 211 in
+  let samples = 20_000 in
+  let mean = 2000. in
+  let acc = sample_stats (fun () -> float_of_int (Dist.poisson rng mean)) samples in
+  let n = float_of_int samples in
+  (* sd of the sample mean: sqrt(mean / n) *)
+  let se_mean = sqrt (mean /. n) in
+  check_bool "huge mean within 5 sigma" true
+    (Float.abs (Stats.Acc.mean acc -. mean) < 5. *. se_mean);
+  (* Var(S^2) for Poisson ≈ (mu + 2 mu^2) / n *)
+  let se_var = sqrt ((mean +. (2. *. mean *. mean)) /. n) in
+  check_bool "huge mean variance within 5 sigma" true
+    (Float.abs (Stats.Acc.variance acc -. mean) < 5. *. se_var)
+
 let test_poisson_zero_mean () =
   let rng = Prng.create 137 in
   for _ = 1 to 100 do
@@ -139,6 +157,7 @@ let suite =
     ("poisson mean (small)", `Quick, test_poisson_mean_small);
     ("poisson variance", `Quick, test_poisson_variance_small);
     ("poisson mean (large)", `Quick, test_poisson_mean_large);
+    ("poisson mean (huge, underflow regression)", `Quick, test_poisson_mean_huge);
     ("poisson zero mean", `Quick, test_poisson_zero_mean);
     ("poisson pmf sums", `Quick, test_poisson_pmf_sums_to_one);
     ("poisson pmf known", `Quick, test_poisson_pmf_known_value);

@@ -1,8 +1,11 @@
 (* Integration tests: the whole experiment registry at smoke scale, the
-   report rendering machinery, and the Scale helpers. *)
+   report rendering machinery, the JSON observability layer, and the
+   Scale helpers. *)
 module Registry = Churnet_experiments.Registry
 module Report = Churnet_experiments.Report
 module Scale = Churnet_experiments.Scale
+module Telemetry = Churnet_experiments.Telemetry
+module Json = Churnet_util.Json
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -75,6 +78,105 @@ let test_run_all_subset () =
   let summary = Registry.summary reports in
   check_bool "summary renders" true (String.length (Churnet_util.Table.render summary) > 0)
 
+let contains needle hay =
+  let nl = String.length needle in
+  let found = ref false in
+  for i = 0 to String.length hay - nl do
+    if String.sub hay i nl = needle then found := true
+  done;
+  !found
+
+(* Regression: a misspelled id used to be dropped silently, so the caller
+   simply got fewer reports.  Now every unknown id must be named. *)
+let test_run_all_unknown_ids_raise () =
+  let expect_invalid ids expected_fragments =
+    match Registry.run_all ~ids ~seed:7 ~scale:Scale.Smoke () with
+    | _ -> Alcotest.fail "unknown id accepted silently"
+    | exception Invalid_argument msg ->
+        List.iter
+          (fun frag ->
+            check_bool (Printf.sprintf "error mentions %s" frag) true (contains frag msg))
+          expected_fragments
+  in
+  (* unknown alone, and mixed with perfectly valid ids *)
+  expect_invalid [ "Z9" ] [ "Z9"; "E1" ];
+  expect_invalid [ "E12"; "NOPE"; "T1"; "ALSO_BAD" ] [ "NOPE"; "ALSO_BAD" ];
+  (* run_timed validates identically *)
+  (match Registry.run_timed ~ids:[ "Z9" ] ~seed:7 ~scale:Scale.Smoke () with
+  | _ -> Alcotest.fail "run_timed accepted unknown id"
+  | exception Invalid_argument _ -> ());
+  (* and valid ids still work, case-insensitively *)
+  check_int "valid subset unaffected" 1
+    (List.length (Registry.run_all ~ids:[ "t1" ] ~seed:7 ~scale:Scale.Smoke ()))
+
+(* The --json schema: run one real experiment, serialize through the
+   CLI's envelope, parse it back with our own parser, and verify every
+   check carries holds plus the nullable typed payloads. *)
+let test_json_schema_smoke () =
+  let timed = Registry.run_timed ~ids:[ "E1" ] ~seed:2024 ~scale:Scale.Smoke () in
+  let doc = Registry.reports_to_json ~seed:2024 ~scale:Scale.Smoke ~domains:1 timed in
+  let parsed = Json.of_string_exn (Json.to_string ~pretty:true doc) in
+  check_bool "schema tag" true
+    (Option.bind (Json.member "schema" parsed) Json.as_string
+    = Some "churnet-report/1");
+  check_bool "seed" true (Option.bind (Json.member "seed" parsed) Json.as_int = Some 2024);
+  let reports = Json.as_list (Option.get (Json.member "reports" parsed)) in
+  check_int "one report" 1 (List.length reports);
+  let report = List.hd reports in
+  check_bool "id" true
+    (Option.bind (Json.member "id" report) Json.as_string = Some "E1");
+  check_bool "all_hold present" true
+    (Option.bind (Json.member "all_hold" report) Json.as_bool <> None);
+  let checks = Json.as_list (Option.get (Json.member "checks" report)) in
+  let (r, _) = List.hd timed in
+  check_int "every check serialized" (List.length r.Report.checks) (List.length checks);
+  check_bool "checks nonempty" true (checks <> []);
+  List.iter
+    (fun c ->
+      check_bool "check has holds" true
+        (Option.bind (Json.member "holds" c) Json.as_bool <> None);
+      check_bool "check has claim" true
+        (Option.bind (Json.member "claim" c) Json.as_string <> None);
+      (* typed payloads are present as keys (value may be null) *)
+      check_bool "check has expected_value key" true (Json.member "expected_value" c <> None);
+      check_bool "check has measured_value key" true (Json.member "measured_value" c <> None))
+    checks;
+  (* E1's first check carries the typed scalar pair *)
+  let first = List.hd checks in
+  check_bool "typed expected_value" true
+    (Option.bind (Json.member "expected_value" first) Json.as_float <> None);
+  check_bool "typed measured_value" true
+    (Option.bind (Json.member "measured_value" first) Json.as_float <> None);
+  (* telemetry rides along with sane fields *)
+  let tele = Option.get (Json.member "telemetry" report) in
+  check_bool "wall_seconds >= 0" true
+    (match Option.bind (Json.member "wall_seconds" tele) Json.as_float with
+    | Some w -> w >= 0.
+    | None -> false);
+  check_bool "minor_words present" true
+    (Option.bind (Json.member "minor_words" tele) Json.as_float <> None);
+  check_bool "scale string" true
+    (Option.bind (Json.member "scale" tele) Json.as_string = Some "smoke");
+  (* tables survive as headers + rows *)
+  let tables = Json.as_list (Option.get (Json.member "tables" report)) in
+  check_int "table count" (List.length r.Report.tables) (List.length tables)
+
+(* Text rendering must be byte-identical whether or not JSON is emitted:
+   same seed, one run through run_all, one through run_timed (+ to_json),
+   identical bytes. *)
+let test_render_unchanged_by_json_emission () =
+  let plain = Registry.run_all ~ids:[ "T1" ] ~seed:2024 ~scale:Scale.Smoke () in
+  let timed = Registry.run_timed ~ids:[ "T1" ] ~seed:2024 ~scale:Scale.Smoke () in
+  (* emit JSON from the timed run before rendering, to prove emission
+     does not disturb the text *)
+  let _json =
+    Json.to_string (Registry.reports_to_json ~seed:2024 ~scale:Scale.Smoke ~domains:1 timed)
+  in
+  let render reports = String.concat "" (List.map Report.render reports) in
+  Alcotest.(check string)
+    "byte-identical rendering" (render plain)
+    (render (List.map fst timed))
+
 let suite =
   [
     ("scale roundtrip", `Quick, test_scale_roundtrip);
@@ -84,4 +186,7 @@ let suite =
     ("report rendering", `Quick, test_report_rendering);
     ("every experiment at smoke scale", `Slow, test_every_experiment_smoke);
     ("run_all subset", `Quick, test_run_all_subset);
+    ("run_all unknown ids raise", `Quick, test_run_all_unknown_ids_raise);
+    ("json schema smoke", `Quick, test_json_schema_smoke);
+    ("render unchanged by json emission", `Quick, test_render_unchanged_by_json_emission);
   ]

@@ -4,6 +4,7 @@ let () =
       ("prng", Test_prng.suite);
       ("dist", Test_dist.suite);
       ("stats", Test_stats.suite);
+      ("json", Test_json.suite);
       ("util-structures", Test_util_structures.suite);
       ("graph", Test_graph.suite);
       ("churn", Test_churn.suite);

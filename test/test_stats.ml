@@ -45,6 +45,23 @@ let test_acc_merge_with_empty () =
   close "empty+b mean" 4. (Stats.Acc.mean m1);
   close "b+empty mean" 4. (Stats.Acc.mean m2)
 
+let test_acc_merge_never_aliases () =
+  (* Regression: merge used to return its first argument itself when the
+     second was empty, so adding to the merge result mutated the input. *)
+  let a = Stats.Acc.create () and empty = Stats.Acc.create () in
+  Stats.Acc.add a 1.;
+  Stats.Acc.add a 3.;
+  let merged = Stats.Acc.merge a empty in
+  Stats.Acc.add merged 100.;
+  Alcotest.(check int) "a count untouched" 2 (Stats.Acc.count a);
+  close "a mean untouched" 2. (Stats.Acc.mean a);
+  close "a max untouched" 3. (Stats.Acc.max a);
+  Alcotest.(check int) "merged took the add" 3 (Stats.Acc.count merged);
+  (* and the symmetric branch *)
+  let merged2 = Stats.Acc.merge empty a in
+  Stats.Acc.add merged2 100.;
+  Alcotest.(check int) "a count still untouched" 2 (Stats.Acc.count a)
+
 let test_batch_mean_variance () =
   close "mean" 2. (Stats.mean [| 1.; 2.; 3. |]);
   close "variance" 1. (Stats.variance [| 1.; 2.; 3. |]);
@@ -148,6 +165,7 @@ let suite =
     ("acc single", `Quick, test_acc_single);
     ("acc merge", `Quick, test_acc_merge_matches_batch);
     ("acc merge empty", `Quick, test_acc_merge_with_empty);
+    ("acc merge never aliases", `Quick, test_acc_merge_never_aliases);
     ("batch mean/variance", `Quick, test_batch_mean_variance);
     ("median/quantiles", `Quick, test_median_quantiles);
     ("quantile pure", `Quick, test_quantile_does_not_mutate);

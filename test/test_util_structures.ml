@@ -249,6 +249,29 @@ let test_bar () =
   let s = Asciiplot.bar ~title:"b" [ ("one", 1.); ("two", 2.) ] in
   check_bool "renders bars" true (String.contains s '#')
 
+let test_bar_mixed_signs () =
+  (* Regression: a negative entry (e.g. a negative assortativity) used to
+     make String.make crash with a negative length. *)
+  let s =
+    Asciiplot.bar ~title:"b"
+      [ ("pos", 0.5); ("neg", -1.0); ("zero", 0.); ("nan", nan) ]
+  in
+  check_bool "renders" true (String.length s > 0);
+  check_bool "positive bar uses #" true (String.contains s '#');
+  (* the negative bar is drawn distinctly and at full scale (|−1| is the max) *)
+  check_bool "negative bar uses -" true
+    (let found = ref false in
+     String.iteri
+       (fun i c ->
+         if c = '-' && i + 1 < String.length s && s.[i + 1] = '-' then found := true)
+       s;
+     !found)
+
+let test_bar_all_negative () =
+  let s = Asciiplot.bar ~title:"b" [ ("a", -2.); ("b", -4.) ] in
+  check_bool "renders without crash" true (String.length s > 0);
+  check_bool "no # bars" true (not (String.contains s '#'))
+
 let suite =
   [
     ("entropy uniform", `Quick, test_entropy_uniform);
@@ -279,6 +302,8 @@ let suite =
     ("plot empty", `Quick, test_plot_empty);
     ("plot log scale", `Quick, test_plot_log_drops_nonpositive);
     ("bar", `Quick, test_bar);
+    ("bar mixed signs", `Quick, test_bar_mixed_signs);
+    ("bar all negative", `Quick, test_bar_all_negative);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) (kl_qcheck @ heap_qcheck)
 
