@@ -125,7 +125,7 @@ let run_bechamel () =
       let rows =
         Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_name []
       in
-      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
       List.iter
         (fun (name, ols_result) ->
           let estimate =

@@ -167,7 +167,7 @@ let run_bechamel () =
         let rows =
           Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_name []
         in
-        let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+        let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
         List.map
           (fun (name, ols_result) ->
             match Analyze.OLS.estimates ols_result with

@@ -91,6 +91,9 @@ let step t =
         orphans;
       if victim = t.newest then t.newest <- -1);
   (* Repair pass. *)
+  (* lint: allow no-hashtbl-order — repair order follows the table's
+     insertion history, itself a pure function of the seed; replays are
+     bit-identical. *)
   let pending = Hashtbl.fold (fun id () acc -> id :: acc) t.deficient [] in
   List.iter (try_fill t) pending
 
@@ -149,6 +152,7 @@ let mean_out_degree t =
 
 let parked_slots t =
   let acc = ref 0 in
+  (* lint: allow no-hashtbl-order — pure sum over entries; addition commutes. *)
   Hashtbl.iter
     (fun id () ->
       if Dyngraph.is_alive t.graph id then

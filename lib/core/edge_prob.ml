@@ -28,7 +28,7 @@ let new_raw () =
    of alive nodes strictly older. *)
 let aggregate graph ~bucket_of ~age_of =
   let ids = Dyngraph.alive_ids graph in
-  Array.sort compare ids;
+  Array.sort Int.compare ids;
   let total = Array.length ids in
   (* ids sorted ascending = youngest last; index i has (total - 1 - i)
      younger nodes?  ids ascend with birth order, so smaller id = older.

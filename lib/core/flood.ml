@@ -376,6 +376,8 @@ module Async = struct
     Dyngraph.set_death_hook graph None;
     let alive = Dyngraph.alive_count graph in
     let informed_alive = ref 0 in
+    (* lint: allow no-hashtbl-order — pure count over entries; addition
+       commutes. *)
     Hashtbl.iter (fun id _ -> if Dyngraph.is_alive graph id then incr informed_alive) informed;
     {
       completed = !completed;

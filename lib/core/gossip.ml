@@ -71,6 +71,9 @@ let run ?max_rounds ~strategy model =
     (* Exchanges happen on the snapshot at the start of the round. *)
     let newly = ref [] in
     if strategy = Push || strategy = Push_pull then
+      (* lint: allow no-hashtbl-order — push order follows the informed set's
+         insertion history, itself a pure function of the seed; newly-informed
+         nodes are applied in one batch after the sweep. *)
       Hashtbl.iter
         (fun u () ->
           if Dyngraph.is_alive graph u then begin
@@ -95,6 +98,8 @@ let run ?max_rounds ~strategy model =
     advance_one_round model;
     (* Drop the dead. *)
     let dead = ref [] in
+    (* lint: allow no-hashtbl-order — collects dead members for removal;
+       removals commute. *)
     Hashtbl.iter
       (fun id () -> if not (Dyngraph.is_alive graph id) then dead := id :: !dead)
       informed;

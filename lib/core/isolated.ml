@@ -38,6 +38,8 @@ let watch_until_death graph isolated_ids ~max_track ~step ~max_steps =
     incr steps;
     step ();
     let resolved = ref [] in
+    (* lint: allow no-hashtbl-order — per-node census checks are independent;
+       counter increments and removals commute. *)
     Hashtbl.iter
       (fun id () ->
         if not (Dyngraph.is_alive graph id) then begin

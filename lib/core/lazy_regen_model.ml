@@ -61,6 +61,9 @@ let repair t id =
   end
 
 let maintenance t =
+  (* lint: allow no-hashtbl-order — repair order follows the table's
+     insertion history, itself a pure function of the seed; replays are
+     bit-identical. *)
   let pending = Hashtbl.fold (fun id () acc -> id :: acc) t.broken [] in
   Hashtbl.reset t.broken;
   List.iter (repair t) pending
@@ -128,6 +131,7 @@ let flood ?max_rounds t =
 
 let broken_slots t =
   let acc = ref 0 in
+  (* lint: allow no-hashtbl-order — pure sum over entries; addition commutes. *)
   Hashtbl.iter
     (fun id () ->
       if Dyngraph.is_alive t.graph id then

@@ -89,7 +89,7 @@ let component_unions snap ~max_size =
     let buckets = Array.make k [] in
     Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) label;
     let comps = Array.to_list (Array.map Array.of_list buckets) in
-    let sorted = List.sort (fun a b -> compare (Array.length a) (Array.length b)) comps in
+    let sorted = List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) comps in
     (* Prefix unions of components, smallest first, skipping the largest
        (which would exceed n/2 anyway in a connected-ish graph). *)
     let unions = ref [] in
@@ -121,7 +121,7 @@ let age_prefixes snap ~sizes =
 let degree_prefixes snap ~sizes =
   let n = Snapshot.n snap in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare (Snapshot.degree snap a) (Snapshot.degree snap b)) order;
+  Array.sort (fun a b -> Int.compare (Snapshot.degree snap a) (Snapshot.degree snap b)) order;
   List.filter_map (fun s -> if s <= n then Some (Array.sub order 0 s) else None) sizes
 
 let random_sets rng snap ~sizes ~samples =
@@ -152,10 +152,10 @@ let probe ?rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
     let random = Array.to_list (Prng.sample_without_replacement rng (min 12 n) n) in
     let by_degree = Array.init n Fun.id in
     Array.sort
-      (fun a b -> compare (Snapshot.degree snap a) (Snapshot.degree snap b))
+      (fun a b -> Int.compare (Snapshot.degree snap a) (Snapshot.degree snap b))
       by_degree;
     let low = Array.to_list (Array.sub by_degree 0 (min 6 n)) in
-    List.sort_uniq compare (random @ low)
+    List.sort_uniq Int.compare (random @ low)
   in
   List.iter
     (fun seed -> List.iter (consider ~family:"bfs-ball") (bfs_ball snap seed ~max_size))
@@ -174,7 +174,7 @@ let probe ?rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
     witness = acc.best;
     per_family =
       Hashtbl.fold (fun fam e l -> (fam, e) :: l) acc.families []
-      |> List.sort (fun (_, a) (_, b) -> compare a b);
+      |> List.sort (fun (_, a) (_, b) -> Float.compare a b);
     candidates_tested = acc.tested;
   }
 

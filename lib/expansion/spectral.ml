@@ -107,7 +107,7 @@ let conductance_of_sweep adj order =
 
 let sorted_order vec =
   let order = Array.init (Array.length vec) Fun.id in
-  Array.sort (fun a b -> compare vec.(a) vec.(b)) order;
+  Array.sort (fun a b -> Float.compare vec.(a) vec.(b)) order;
   order
 
 let analyze ?(iters = 300) snap =

@@ -1,0 +1,7 @@
+(** Poisson-churn statistics (Lemmas 4.4/4.7/4.8) and age demographics.
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val e12 : seed:int -> scale:Scale.t -> Report.t
+
+val f9 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,7 @@
+(** Streaming-predicts-Poisson coupling (F13) and seed-sweep robustness (R1).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f13 : seed:int -> scale:Scale.t -> Report.t
+
+val r1 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** Degree structure of SDGR/PDGR (F4).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f4 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** In-degree law Poisson(d a / n) (F14).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f14 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** Edge-destination probabilities (F8).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f8 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,15 @@
+(** Expansion experiments (Lemmas 3.6/4.11, Theorems 3.15/4.16; F6/F7).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val e3 : seed:int -> scale:Scale.t -> Report.t
+
+val e4 : seed:int -> scale:Scale.t -> Report.t
+
+val e5 : seed:int -> scale:Scale.t -> Report.t
+
+val e6 : seed:int -> scale:Scale.t -> Report.t
+
+val f6 : seed:int -> scale:Scale.t -> Report.t
+
+val f7 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,11 @@
+(** Extensions: bounded degree, gossip, burst churn, regeneration-latency ablation.
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val x1 : seed:int -> scale:Scale.t -> Report.t
+
+val x2 : seed:int -> scale:Scale.t -> Report.t
+
+val x3 : seed:int -> scale:Scale.t -> Report.t
+
+val a1 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** Topology fingerprints: models vs P2P protocols (F12).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f12 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,19 @@
+(** Flooding experiments (Theorems 3.7/3.8, 4.12/4.13, 3.16, 4.20; F1/F2/F11).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val e7 : seed:int -> scale:Scale.t -> Report.t
+
+val e8 : seed:int -> scale:Scale.t -> Report.t
+
+val e9 : seed:int -> scale:Scale.t -> Report.t
+
+val e10 : seed:int -> scale:Scale.t -> Report.t
+
+val e11 : seed:int -> scale:Scale.t -> Report.t
+
+val f1 : seed:int -> scale:Scale.t -> Report.t
+
+val f2 : seed:int -> scale:Scale.t -> Report.t
+
+val f11 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,9 @@
+(** Isolated-node experiments (Lemmas 3.5/4.10; F3 sweep).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val e1 : seed:int -> scale:Scale.t -> Report.t
+
+val e2 : seed:int -> scale:Scale.t -> Report.t
+
+val f3 : seed:int -> scale:Scale.t -> Report.t

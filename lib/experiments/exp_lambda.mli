@@ -1,0 +1,5 @@
+(** Lambda-normalization invariance (S1).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val s1 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** Onion-skin layer growth (F5).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f5 : seed:int -> scale:Scale.t -> Report.t

@@ -1,0 +1,5 @@
+(** PDGR vs P2P protocol baselines (F10).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val f10 : seed:int -> scale:Scale.t -> Report.t

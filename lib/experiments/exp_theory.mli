@@ -1,0 +1,5 @@
+(** Numeric verification of the paper's calculus claims (T1).
+    Each entry point matches the {!Registry} run signature: it consumes a
+    seed and a scale and returns the experiment's {!Report.t}. *)
+
+val t1 : seed:int -> scale:Scale.t -> Report.t

@@ -194,6 +194,9 @@ let kill t id =
     node.out_slots;
   (* Each surviving in-neighbor loses the slots that pointed here and, with
      regeneration, immediately re-samples them over the current alive set. *)
+  (* lint: allow no-hashtbl-order — regeneration draws follow the table's
+     insertion history, itself a pure function of the seed; replays are
+     bit-identical (guarded by test_differential). *)
   Hashtbl.iter
     (fun src_id _multiplicity ->
       match Hashtbl.find_opt t.nodes src_id with
@@ -237,6 +240,8 @@ let out_slot t id slot =
 
 let in_neighbors t id =
   let node = get_node t id in
+  (* lint: allow no-hashtbl-order — documented as unordered; order-sensitive
+     consumers (Snapshot, tests) sort before use. *)
   Hashtbl.fold (fun src _ acc -> src :: acc) node.in_edges []
 
 let neighbors t id =
@@ -245,7 +250,10 @@ let neighbors t id =
   Array.iter
     (fun target -> if target >= 0 then Hashtbl.replace seen target ())
     node.out_slots;
+  (* lint: allow no-hashtbl-order — builds a dedup set; membership only. *)
   Hashtbl.iter (fun src _ -> Hashtbl.replace seen src ()) node.in_edges;
+  (* lint: allow no-hashtbl-order — documented as unordered; order-sensitive
+     consumers (Snapshot, tests) sort before use. *)
   Hashtbl.fold (fun v () acc -> v :: acc) seen []
 
 (* Allocation-free neighborhood iteration for the simulation hot loops.
@@ -265,10 +273,14 @@ let iter_neighbors t id f =
       if not !dup then f v
     end
   done;
+  (* lint: allow no-hashtbl-order — iteration contract is unordered; hot-path
+     consumers (Flood, Probe) fold into bitsets and counters. *)
   Hashtbl.iter (fun src _ -> f src) node.in_edges
 
 let iter_in_neighbors t id f =
   let node = get_node t id in
+  (* lint: allow no-hashtbl-order — iteration contract is unordered; hot-path
+     consumers (Flood, Probe) fold into bitsets and counters. *)
   Hashtbl.iter (fun src _ -> f src) node.in_edges
 
 let degree t id = List.length (neighbors t id)
@@ -292,7 +304,7 @@ let oldest_alive t =
 
 let snapshot t =
   let ids = alive_ids t in
-  Array.sort compare ids;
+  Array.sort Int.compare ids;
   let n = Array.length ids in
   let index_of = Hashtbl.create (2 * n) in
   Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
@@ -304,7 +316,7 @@ let snapshot t =
         let neigh = neighbors t id in
         let arr = List.filter_map (fun v -> Hashtbl.find_opt index_of v) neigh in
         let arr = Array.of_list arr in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         arr)
       ids
   in
@@ -324,6 +336,8 @@ let check_invariants t =
   if Hashtbl.length t.alive_index <> t.alive_len then fail "alive index size mismatch";
   if Hashtbl.length t.nodes <> t.alive_len then fail "node table size mismatch";
   (* slot / in-edge symmetry *)
+  (* lint: allow no-hashtbl-order — invariant sweep: only whether a violation
+     exists matters, not which one is reported first. *)
   Hashtbl.iter
     (fun id node ->
       Array.iter
@@ -337,6 +351,8 @@ let check_invariants t =
                   fail "slot %d->%d not recorded as in-edge" id target
           end)
         node.out_slots;
+      (* lint: allow no-hashtbl-order — invariant sweep: only whether a
+         violation exists matters, not which one is reported first. *)
       Hashtbl.iter
         (fun src mult ->
           if mult <= 0 then fail "non-positive multiplicity %d->%d" src id;

@@ -29,7 +29,7 @@ let of_edges ~n edges =
   let adj =
     Array.map
       (fun l ->
-        let a = Array.of_list (List.sort_uniq compare l) in
+        let a = Array.of_list (List.sort_uniq Int.compare l) in
         a)
       tmp
   in

@@ -159,6 +159,12 @@ let parse s =
     pos := !pos + 4;
     v
   in
+  (* [int_of_string] signals bad hex digits with [Failure]; a truncated
+     escape raises [Parse_error].  Only those mean "malformed escape":
+     anything else (Out_of_memory, Stack_overflow) must keep unwinding. *)
+  let hex4_opt () =
+    try Some (hex4 ()) with Failure _ | Parse_error _ -> None
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -182,7 +188,7 @@ let parse s =
            | 'f' -> Buffer.add_char buf '\012'
            | 'u' ->
                let code =
-                 match (try Some (hex4 ()) with _ -> None) with
+                 match hex4_opt () with
                  | None -> fail "bad \\u escape"
                  | Some hi when hi >= 0xD800 && hi <= 0xDBFF ->
                      (* surrogate pair *)
@@ -190,7 +196,7 @@ let parse s =
                        !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
                      then begin
                        pos := !pos + 2;
-                       match (try Some (hex4 ()) with _ -> None) with
+                       match hex4_opt () with
                        | Some lo when lo >= 0xDC00 && lo <= 0xDFFF ->
                            0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
                        | _ -> fail "bad low surrogate"

@@ -1,0 +1,401 @@
+type config = {
+  paths : string list;
+  baseline_path : string option;
+  json_path : string option;
+  update_baseline : bool;
+}
+
+type baseline_entry = { b_rule : string; b_file : string; b_line : int }
+
+type outcome = {
+  findings : Lint_rules.finding list;
+  baselined : int;
+  suppressed : int;
+  expired : baseline_entry list;
+  files_scanned : int;
+}
+
+let bad_pragma_rule = "bad-pragma"
+
+(* ------------------------------------------------------------------ *)
+(* Paths and file discovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  let absolute = String.length p > 0 && p.[0] = '/' in
+  let parts =
+    List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' p)
+  in
+  (if absolute then "/" else "") ^ String.concat "/" parts
+
+let has_suffix suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Depth-first walk in sorted order (determinism: findings must not
+   depend on readdir order).  Hidden and build directories and files
+   ('.'- or '_'-prefixed) are skipped. *)
+let rec walk acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
+        else walk acc (path ^ "/" ^ entry))
+      acc entries
+  end
+  else if has_suffix ".ml" path || has_suffix ".mli" path then
+    normalize_path path :: acc
+  else acc
+
+let collect_files paths =
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then
+    Error ("no such file or directory: " ^ String.concat ", " missing)
+  else
+    let all =
+      List.fold_left (fun acc p -> walk acc (normalize_path p)) [] paths
+    in
+    let all = List.sort_uniq String.compare all in
+    let mls = List.filter (fun p -> has_suffix ".ml" p) all in
+    let mlis = List.filter (fun p -> has_suffix ".mli" p) all in
+    Ok (mls, mlis)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* ------------------------------------------------------------------ *)
+(* Suppression pragmas                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type pragma =
+  | Allow_lines of string * int * int  (* rule, from line, to line inclusive *)
+  | Allow_file of string
+
+let em_dash = "\xe2\x80\x94"
+
+(* A "dash word" is any run of ASCII dashes and/or em-dashes: the
+   decorative separator between a pragma's rule name and its reason. *)
+let is_dash_word w =
+  let n = String.length w in
+  let rec go i =
+    if i >= n then true
+    else if w.[i] = '-' then go (i + 1)
+    else if n - i >= 3 && String.sub w i 3 = em_dash then go (i + 3)
+    else false
+  in
+  n > 0 && go 0
+
+let split_words s =
+  List.filter (fun w -> w <> "")
+    (String.split_on_char ' '
+       (String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s))
+
+(* Parse one comment.  Returns a pragma, a bad-pragma finding, or
+   nothing when the comment is not a lint directive at all. *)
+let parse_pragma ~path (c : Lint_lexer.comment) =
+  let text = String.trim c.Lint_lexer.c_text in
+  if not (String.length text >= 5 && String.sub text 0 5 = "lint:") then `None
+  else
+    let bad message =
+      `Bad
+        {
+          Lint_rules.rule = bad_pragma_rule;
+          file = path;
+          line = c.Lint_lexer.c_line;
+          col = 1;
+          message;
+        }
+    in
+    let directive = String.trim (String.sub text 5 (String.length text - 5)) in
+    match split_words directive with
+    | keyword :: rule :: rest when keyword = "allow" || keyword = "allow-file" ->
+        if not (Lint_rules.is_rule rule) then
+          bad
+            (Printf.sprintf
+               "unknown rule %S in lint pragma (known: %s)" rule
+               (String.concat ", " Lint_rules.names))
+        else
+          let reason =
+            let rec drop_dashes words =
+              match words with
+              | w :: tl when is_dash_word w -> drop_dashes tl
+              | _ -> words
+            in
+            String.concat " " (drop_dashes rest)
+          in
+          if String.trim reason = "" then
+            bad
+              (Printf.sprintf
+                 "lint pragma for %S has no reason; write `(* lint: %s %s \
+                  \xe2\x80\x94 why this is safe *)'"
+                 rule keyword rule)
+          else if keyword = "allow-file" then `Pragma (Allow_file rule)
+          else
+            `Pragma
+              (Allow_lines (rule, c.Lint_lexer.c_line, c.Lint_lexer.c_end_line + 1))
+    | _ ->
+        bad
+          "malformed lint pragma; expected `lint: allow <rule> \xe2\x80\x94 \
+           reason' or `lint: allow-file <rule> \xe2\x80\x94 reason'"
+
+let pragmas_of ~path (lex : Lint_lexer.t) =
+  Array.fold_left
+    (fun (pragmas, bad) c ->
+      match parse_pragma ~path c with
+      | `None -> (pragmas, bad)
+      | `Pragma p -> (p :: pragmas, bad)
+      | `Bad f -> (pragmas, f :: bad))
+    ([], []) lex.Lint_lexer.comments
+
+let suppressed_by pragmas (f : Lint_rules.finding) =
+  List.exists
+    (fun p ->
+      match p with
+      | Allow_file rule -> rule = f.Lint_rules.rule
+      | Allow_lines (rule, lo, hi) ->
+          rule = f.Lint_rules.rule && f.Lint_rules.line >= lo
+          && f.Lint_rules.line <= hi)
+    pragmas
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_baseline_line ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match split_words line with
+    | [ rule; loc ] -> (
+        match String.rindex_opt loc ':' with
+        | None ->
+            Error
+              (Printf.sprintf "baseline line %d: expected `rule file:line'"
+                 lineno)
+        | Some i -> (
+            let file = String.sub loc 0 i in
+            let num = String.sub loc (i + 1) (String.length loc - i - 1) in
+            match int_of_string_opt num with
+            | None ->
+                Error
+                  (Printf.sprintf "baseline line %d: bad line number %S" lineno
+                     num)
+            | Some l ->
+                if Lint_rules.is_rule rule || rule = bad_pragma_rule then
+                  Ok (Some { b_rule = rule; b_file = normalize_path file; b_line = l })
+                else
+                  Error
+                    (Printf.sprintf "baseline line %d: unknown rule %S" lineno
+                       rule)))
+    | _ ->
+        Error
+          (Printf.sprintf "baseline line %d: expected `rule file:line'" lineno)
+
+let parse_baseline content =
+  let lines = String.split_on_char '\n' content in
+  let rec go lineno acc lines =
+    match lines with
+    | [] -> Ok (List.rev acc)
+    | line :: tl -> (
+        match parse_baseline_line ~lineno line with
+        | Ok None -> go (lineno + 1) acc tl
+        | Ok (Some e) -> go (lineno + 1) (e :: acc) tl
+        | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let load_baseline = function
+  | None -> Ok []
+  | Some path ->
+      if not (Sys.file_exists path) then
+        Error ("baseline file not found: " ^ path)
+      else (
+        match read_file path with
+        | content -> parse_baseline content
+        | exception Sys_error msg -> Error msg)
+
+let compare_entries a b =
+  let c = String.compare a.b_file b.b_file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.b_line b.b_line in
+    if c <> 0 then c else String.compare a.b_rule b.b_rule
+
+(* Subtract the baseline from the findings (multiset semantics: one
+   entry absorbs one finding).  Returns the surviving findings, the
+   number absorbed, and the entries that matched nothing. *)
+let apply_baseline entries findings =
+  let remaining = ref entries in
+  let absorbed = ref 0 in
+  let survives (f : Lint_rules.finding) =
+    let matches e =
+      e.b_rule = f.Lint_rules.rule
+      && e.b_file = f.Lint_rules.file
+      && e.b_line = f.Lint_rules.line
+    in
+    match List.partition matches !remaining with
+    | [], _ -> true
+    | _ :: extra, rest ->
+        remaining := extra @ rest;
+        incr absorbed;
+        false
+  in
+  let fresh = List.filter survives findings in
+  (fresh, !absorbed, List.sort compare_entries !remaining)
+
+let baseline_header =
+  "# churnet-lint baseline: grandfathered findings, one `rule file:line' per\n\
+   # line.  New code must stay clean; shrink this file, never grow it.\n"
+
+let write_baseline path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc baseline_header;
+      List.iter
+        (fun (f : Lint_rules.finding) ->
+          output_string oc
+            (Printf.sprintf "%s %s:%d\n" f.Lint_rules.rule f.Lint_rules.file
+               f.Lint_rules.line))
+        findings)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lint_file ~mli_paths path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | src ->
+      let lex = Lint_lexer.lex src in
+      let has_mli =
+        List.mem (path ^ "i") mli_paths || Sys.file_exists (path ^ "i")
+      in
+      let ctx = { Lint_rules.path; lex; has_mli } in
+      let raw =
+        List.concat_map (fun r -> r.Lint_rules.check ctx) Lint_rules.all
+      in
+      let pragmas, bad = pragmas_of ~path lex in
+      let kept, dropped =
+        List.partition (fun f -> not (suppressed_by pragmas f)) raw
+      in
+      Ok (bad @ kept, List.length dropped)
+
+let to_json outcome =
+  let finding_json (f : Lint_rules.finding) =
+    Json.Obj
+      [
+        ("rule", Json.String f.Lint_rules.rule);
+        ("file", Json.String f.Lint_rules.file);
+        ("line", Json.Int f.Lint_rules.line);
+        ("col", Json.Int f.Lint_rules.col);
+        ("message", Json.String f.Lint_rules.message);
+      ]
+  in
+  let entry_json e =
+    Json.Obj
+      [
+        ("rule", Json.String e.b_rule);
+        ("file", Json.String e.b_file);
+        ("line", Json.Int e.b_line);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "churnet-lint/1");
+      ("files_scanned", Json.Int outcome.files_scanned);
+      ( "rules",
+        Json.Arr
+          (List.map
+             (fun (r : Lint_rules.rule) ->
+               Json.Obj
+                 [
+                   ("name", Json.String r.Lint_rules.name);
+                   ("doc", Json.String r.Lint_rules.doc);
+                 ])
+             Lint_rules.all) );
+      ("findings", Json.Arr (List.map finding_json outcome.findings));
+      ("baselined", Json.Int outcome.baselined);
+      ("suppressed", Json.Int outcome.suppressed);
+      ("expired_baseline", Json.Arr (List.map entry_json outcome.expired));
+    ]
+
+let run config =
+  match collect_files config.paths with
+  | Error _ as e -> e
+  | Ok (mls, mli_paths) -> (
+      match load_baseline config.baseline_path with
+      | Error _ as e -> e
+      | Ok entries -> (
+          let rec lint_all acc suppressed files =
+            match files with
+            | [] -> Ok (List.rev acc, suppressed)
+            | f :: tl -> (
+                match lint_file ~mli_paths f with
+                | Error _ as e -> e
+                | Ok (fs, dropped) -> lint_all (fs :: acc) (suppressed + dropped) tl)
+          in
+          match lint_all [] 0 mls with
+          | Error _ as e -> e
+          | Ok (per_file, suppressed) ->
+              let found =
+                List.sort Lint_rules.compare_findings (List.concat per_file)
+              in
+              let fresh, baselined, expired = apply_baseline entries found in
+              let outcome =
+                if config.update_baseline then begin
+                  (match config.baseline_path with
+                  | Some p -> write_baseline p found
+                  | None -> ());
+                  {
+                    findings = [];
+                    baselined = List.length found;
+                    suppressed;
+                    expired = [];
+                    files_scanned = List.length mls;
+                  }
+                end
+                else
+                  {
+                    findings = fresh;
+                    baselined;
+                    suppressed;
+                    expired;
+                    files_scanned = List.length mls;
+                  }
+              in
+              (match config.json_path with
+              | Some p -> Json.write_file p (to_json outcome)
+              | None -> ());
+              Ok outcome))
+
+let render outcome =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (f : Lint_rules.finding) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s\n" f.Lint_rules.file
+           f.Lint_rules.line f.Lint_rules.col f.Lint_rules.rule
+           f.Lint_rules.message))
+    outcome.findings;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "churnet-lint: baseline entry no longer fires: %s %s:%d (remove it \
+            or rerun with --update-baseline)\n"
+           e.b_rule e.b_file e.b_line))
+    outcome.expired;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "churnet-lint: %d finding(s), %d baselined, %d suppressed, %d file(s) \
+        scanned\n"
+       (List.length outcome.findings)
+       outcome.baselined outcome.suppressed outcome.files_scanned);
+  Buffer.contents buf
+
+let exit_code outcome = if outcome.findings = [] then 0 else 1

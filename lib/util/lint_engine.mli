@@ -1,0 +1,53 @@
+(** churnet-lint driver: file discovery, suppression pragmas, baseline
+    bookkeeping and report assembly.
+
+    Suppression pragmas live in ordinary comments:
+
+    {v
+    (* lint: allow <rule> — reason *)        suppress on this and the next line
+    (* lint: allow-file <rule> — reason *)   suppress in the whole file
+    v}
+
+    A pragma must name a known rule and carry a non-empty reason (after
+    an optional "—" or "--" separator); otherwise it is itself reported
+    under the synthetic rule [bad-pragma].
+
+    The baseline file grandfathers known findings: one [rule file:line]
+    entry per line, ['#'] comments allowed.  Findings matching a
+    baseline entry do not fail the run; baseline entries that no longer
+    fire are reported as {e expired} so the file shrinks monotonically
+    to empty. *)
+
+type config = {
+  paths : string list;  (** files or directories to scan *)
+  baseline_path : string option;
+  json_path : string option;  (** write a [churnet-lint/1] report here *)
+  update_baseline : bool;
+      (** rewrite the baseline to exactly the current findings *)
+}
+
+type baseline_entry = { b_rule : string; b_file : string; b_line : int }
+
+type outcome = {
+  findings : Lint_rules.finding list;
+      (** new findings (not baselined, not suppressed), sorted *)
+  baselined : int;  (** findings absorbed by the baseline *)
+  suppressed : int;  (** findings silenced by pragmas *)
+  expired : baseline_entry list;  (** baseline entries that no longer fire *)
+  files_scanned : int;
+}
+
+val run : config -> (outcome, string) result
+(** Scan, lint, apply pragmas and baseline, and honor [json_path] /
+    [update_baseline].  [Error msg] reports unusable inputs (missing
+    path, malformed baseline); it never raises. *)
+
+val render : outcome -> string
+(** Human-readable report: one [file:line:col: [rule] message] line per
+    finding plus a summary line (and expired-baseline notices). *)
+
+val to_json : outcome -> Json.t
+(** The [churnet-lint/1] report document. *)
+
+val exit_code : outcome -> int
+(** [0] when {!outcome.findings} is empty, [1] otherwise. *)

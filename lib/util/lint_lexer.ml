@@ -1,0 +1,232 @@
+type token = { text : string; line : int; col : int }
+type comment = { c_text : string; c_line : int; c_end_line : int }
+type t = { tokens : token array; comments : comment array }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_cont c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_operator_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '='
+  | '>' | '?' | '@' | '^' | '|' | '~' ->
+      true
+  | _ -> false
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let comments = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let bol = ref 0 in
+  let col_of pos bol = pos - bol + 1 in
+  (* Every single-character advance goes through [bump] so that line and
+     beginning-of-line tracking stay correct inside literals and comments. *)
+  let bump () =
+    if src.[!i] = '\n' then begin
+      incr line;
+      bol := !i + 1
+    end;
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  (* Skip a double-quote-delimited string literal (cursor on the opening
+     quote).  A backslash always protects the next character, which
+     covers escaped quotes, backslashes, numeric escapes and line
+     continuations alike. *)
+  let skip_string () =
+    bump ();
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      match src.[!i] with
+      | '\\' ->
+          bump ();
+          if !i < n then bump ()
+      | '"' ->
+          bump ();
+          closed := true
+      | _ -> bump ()
+    done
+  in
+  (* If the cursor sits on the '{' of a quoted string [{id|...|id}],
+     skip the whole literal and return [true]; otherwise leave the
+     cursor alone and return [false]. *)
+  let skip_quoted_string_if_any () =
+    let j = ref (!i + 1) in
+    while
+      !j < n
+      && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let delim = String.sub src (!i + 1) (!j - !i - 1) in
+      let dlen = String.length delim in
+      (* consume up to and including the opening '|' *)
+      while !i <= !j do
+        bump ()
+      done;
+      let closer_at pos =
+        pos + dlen + 1 < n
+        && src.[pos] = '|'
+        && String.sub src (pos + 1) dlen = delim
+        && src.[pos + dlen + 1] = '}'
+      in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if closer_at !i then begin
+          for _ = 0 to dlen + 1 do
+            bump ()
+          done;
+          closed := true
+        end
+        else bump ()
+      done;
+      true
+    end
+    else false
+  in
+  (* Cursor on a single quote.  Skip a character literal if one starts
+     here; otherwise (type variable, label quote) skip just the quote.
+     Returns with the cursor past whatever was consumed. *)
+  let skip_char_or_quote () =
+    if peek 1 = Some '\\' then begin
+      (* escaped literal: '\n', '\'', '\065', '\xFF', '\u{1F600}' *)
+      bump ();
+      bump ();
+      if !i < n then bump ();
+      while !i < n && src.[!i] <> '\'' do
+        bump ()
+      done;
+      if !i < n then bump ()
+    end
+    else if
+      peek 2 = Some '\''
+      && (match peek 1 with Some ('\'' | '\\') -> false | Some _ -> true | None -> false)
+    then begin
+      (* plain literal, including '"', '(', '*' *)
+      bump ();
+      bump ();
+      bump ()
+    end
+    else bump ()
+  in
+  (* Cursor on "(*".  Consume the whole (possibly nested) comment,
+     recording its body.  String, quoted-string and character literals
+     inside the comment cannot open or close it, matching the OCaml
+     lexer's own behavior. *)
+  let skip_comment () =
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    bump ();
+    bump ();
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if src.[!i] = '(' && peek 1 = Some '*' then begin
+        incr depth;
+        Buffer.add_string buf "(*";
+        bump ();
+        bump ()
+      end
+      else if src.[!i] = '*' && peek 1 = Some ')' then begin
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)";
+        bump ();
+        bump ()
+      end
+      else if src.[!i] = '"' then begin
+        let start = !i in
+        skip_string ();
+        Buffer.add_substring buf src start (!i - start)
+      end
+      else if src.[!i] = '{' then begin
+        let start = !i in
+        if skip_quoted_string_if_any () then
+          Buffer.add_substring buf src start (!i - start)
+        else begin
+          Buffer.add_char buf '{';
+          bump ()
+        end
+      end
+      else if src.[!i] = '\'' then begin
+        let start = !i in
+        skip_char_or_quote ();
+        Buffer.add_substring buf src start (!i - start)
+      end
+      else begin
+        Buffer.add_char buf src.[!i];
+        bump ()
+      end
+    done;
+    comments :=
+      { c_text = Buffer.contents buf; c_line = start_line; c_end_line = !line }
+      :: !comments
+  in
+  let emit start start_bol start_line =
+    tokens :=
+      {
+        text = String.sub src start (!i - start);
+        line = start_line;
+        col = col_of start start_bol;
+      }
+      :: !tokens
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then bump ()
+    else if c = '(' && peek 1 = Some '*' then skip_comment ()
+    else if c = '"' then skip_string ()
+    else if c = '{' then begin
+      if not (skip_quoted_string_if_any ()) then begin
+        let start = !i and sb = !bol and sl = !line in
+        bump ();
+        emit start sb sl
+      end
+    end
+    else if c = '\'' then skip_char_or_quote ()
+    else if is_ident_start c then begin
+      let start = !i and sb = !bol and sl = !line in
+      while !i < n && is_ident_cont src.[!i] do
+        bump ()
+      done;
+      emit start sb sl
+    end
+    else if is_digit c then begin
+      let start = !i and sb = !bol and sl = !line in
+      let number_cont () =
+        !i < n
+        &&
+        match src.[!i] with
+        | '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' | '_' | '.' -> true
+        | '+' | '-' -> (
+            match src.[!i - 1] with 'e' | 'E' | 'p' | 'P' -> true | _ -> false)
+        | _ -> false
+      in
+      bump ();
+      while number_cont () do
+        bump ()
+      done;
+      emit start sb sl
+    end
+    else if is_operator_char c then begin
+      let start = !i and sb = !bol and sl = !line in
+      while !i < n && is_operator_char src.[!i] do
+        bump ()
+      done;
+      emit start sb sl
+    end
+    else begin
+      (* parentheses, brackets, comma, semicolon, backtick, ... *)
+      let start = !i and sb = !bol and sl = !line in
+      bump ();
+      emit start sb sl
+    end
+  done;
+  {
+    tokens = Array.of_list (List.rev !tokens);
+    comments = Array.of_list (List.rev !comments);
+  }

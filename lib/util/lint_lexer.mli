@@ -1,0 +1,45 @@
+(** A small OCaml lexer for churnet-lint.
+
+    [lex] splits a source file into its {e code tokens} and its
+    {e comments}, which is exactly the distinction the lint rules need:
+    token rules must never fire on text inside a comment, a string
+    literal, a quoted string or a character literal, while suppression
+    pragmas live inside comments.
+
+    The lexer understands:
+    - nested [(* ... *)] comments, including string and quoted-string
+      literals inside comments (whose content cannot close the comment),
+      and the classic ['"'] character-literal-in-comment corner case;
+    - ["..."] string literals with backslash escapes;
+    - [{id|...|id}] quoted strings with arbitrary lowercase delimiters;
+    - character literals, including escaped ones (['\n'], ['\'']) and
+      ones containing lexer-significant characters (['"'], ['(']),
+      disambiguated from type variables (['a]) and from primes inside
+      identifiers ([x']);
+    - identifiers, numbers, and maximal runs of operator characters
+      (so [->] arrives as a single token, and [Foo.bar] as three).
+
+    String, quoted-string and character literals produce no tokens at
+    all: lint rules only ever see real code. *)
+
+type token = {
+  text : string;  (** the lexeme, e.g. ["Hashtbl"], ["."], ["->"] *)
+  line : int;  (** 1-based line of the first character *)
+  col : int;  (** 1-based column of the first character *)
+}
+
+type comment = {
+  c_text : string;  (** comment body without the outer [(*]/[*)] *)
+  c_line : int;  (** 1-based line where the comment opens *)
+  c_end_line : int;  (** 1-based line where the comment closes *)
+}
+
+type t = {
+  tokens : token array;  (** code tokens, in source order *)
+  comments : comment array;  (** comments, in source order *)
+}
+
+val lex : string -> t
+(** [lex source] tokenizes [source].  The lexer is total: malformed
+    input (unterminated comment or string) never raises; scanning
+    simply stops at end of input. *)

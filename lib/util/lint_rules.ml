@@ -1,0 +1,342 @@
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type context = { path : string; lex : Lint_lexer.t; has_mli : bool }
+type rule = { name : string; doc : string; check : context -> finding list }
+
+(* ------------------------------------------------------------------ *)
+(* Path and token helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let under dir path =
+  let ld = String.length dir and lp = String.length path in
+  lp > ld + 1 && String.sub path 0 (ld + 1) = dir ^ "/"
+
+(* Text of token [i], or "" out of range: lets scans look at neighbors
+   without bounds noise. *)
+let tok (tks : Lint_lexer.token array) i =
+  if i >= 0 && i < Array.length tks then tks.(i).Lint_lexer.text else ""
+
+let finding ~rule ~ctx ~(at : Lint_lexer.token) message =
+  {
+    rule;
+    file = ctx.path;
+    line = at.Lint_lexer.line;
+    col = at.Lint_lexer.col;
+    message;
+  }
+
+(* Shared scan: call [f i tks] on every token index, collect findings. *)
+let scan_tokens ctx f =
+  let tks = ctx.lex.Lint_lexer.tokens in
+  let out = ref [] in
+  Array.iteri
+    (fun i _ -> match f tks i with Some fd -> out := fd :: !out | None -> ())
+    tks;
+  List.rev !out
+
+let definition_keywords = [ "let"; "and"; "rec"; "val"; "external"; "method" ]
+
+(* ------------------------------------------------------------------ *)
+(* no-stdlib-random                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prng_home = "lib/util/prng.ml"
+
+let no_stdlib_random =
+  let name = "no-stdlib-random" in
+  {
+    name;
+    doc =
+      "all randomness flows through Prng; only lib/util/prng.ml may touch \
+       Stdlib.Random";
+    check =
+      (fun ctx ->
+        if ctx.path = prng_home then []
+        else
+          scan_tokens ctx (fun tks i ->
+              let prev = tok tks (i - 1) and prev2 = tok tks (i - 2) in
+              if
+                tok tks i = "Random"
+                && (prev <> "." || prev2 = "Stdlib")
+                && not (List.mem prev definition_keywords)
+                && prev <> "module"
+              then
+                Some
+                  (finding ~rule:name ~ctx ~at:tks.(i)
+                     "Stdlib.Random breaks seed-reproducibility; draw from a \
+                      Prng.t threaded from the experiment seed")
+              else None));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* no-polymorphic-sort                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let no_polymorphic_sort =
+  let name = "no-polymorphic-sort" in
+  {
+    name;
+    doc =
+      "bare polymorphic `compare' is banned (sorts included); use \
+       Int.compare / Float.compare / String.compare";
+    check =
+      (fun ctx ->
+        scan_tokens ctx (fun tks i ->
+            if tok tks i <> "compare" then None
+            else
+              let prev = tok tks (i - 1)
+              and prev2 = tok tks (i - 2)
+              and next = tok tks (i + 1) in
+              let qualified = prev = "." in
+              let poly_qualified =
+                qualified && (prev2 = "Stdlib" || prev2 = "Poly")
+              in
+              let is_definition = List.mem prev definition_keywords in
+              let is_label = prev = "~" || next = ":" in
+              if
+                poly_qualified
+                || ((not qualified) && (not is_definition) && not is_label)
+              then
+                Some
+                  (finding ~rule:name ~ctx ~at:tks.(i)
+                     "polymorphic compare: ordering silently depends on \
+                      runtime representation; use a monomorphic comparator \
+                      (Int.compare, Float.compare, String.compare, ...)")
+              else None));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* no-hashtbl-order                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hashtbl_restricted_dirs = [ "lib/graph"; "lib/core"; "lib/experiments" ]
+
+let hashtbl_order_sensitive =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let no_hashtbl_order =
+  let name = "no-hashtbl-order" in
+  {
+    name;
+    doc =
+      "Hashtbl.iter/fold leak table order into results in lib/graph, \
+       lib/core, lib/experiments; rewrite order-insensitively or suppress \
+       with a reason";
+    check =
+      (fun ctx ->
+        if not (List.exists (fun d -> under d ctx.path) hashtbl_restricted_dirs)
+        then []
+        else
+          scan_tokens ctx (fun tks i ->
+              if
+                tok tks i = "Hashtbl"
+                && tok tks (i + 1) = "."
+                && List.mem (tok tks (i + 2)) hashtbl_order_sensitive
+                && tok tks (i - 1) <> "."
+              then
+                Some
+                  (finding ~rule:name ~ctx ~at:tks.(i)
+                     (Printf.sprintf
+                        "Hashtbl.%s iterates in table order, which depends on \
+                         insertion history; sort the result or suppress with \
+                         a written reason if order provably cannot leak"
+                        (tok tks (i + 2))))
+              else None));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* no-wildcard-exn                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Associating each `with' with its opening `try'/`match' is done with a
+   stack, recording the brace depth at push time so that record updates
+   [{ e with ... }] inside a try body do not steal the pop.  `with type'
+   / `with module' constraints are skipped outright. *)
+let no_wildcard_exn =
+  let name = "no-wildcard-exn" in
+  {
+    name;
+    doc =
+      "`try ... with _ ->' swallows Out_of_memory, Stack_overflow and \
+       programming errors alike; match the exceptions you mean";
+    check =
+      (fun ctx ->
+        let tks = ctx.lex.Lint_lexer.tokens in
+        let out = ref [] in
+        let stack = ref [] in
+        let brace_depth = ref 0 in
+        Array.iteri
+          (fun i (t : Lint_lexer.token) ->
+            match t.Lint_lexer.text with
+            | "{" -> incr brace_depth
+            | "}" -> decr brace_depth
+            | "try" -> stack := (`Try, !brace_depth) :: !stack
+            | "match" -> stack := (`Match, !brace_depth) :: !stack
+            | "with" -> (
+                let next = tok tks (i + 1) in
+                if next = "type" || next = "module" then ()
+                else
+                  match !stack with
+                  | (kind, depth) :: rest when depth >= !brace_depth ->
+                      stack := rest;
+                      if kind = `Try && next = "_" && tok tks (i + 2) = "->"
+                      then
+                        out :=
+                          finding ~rule:name ~ctx ~at:t
+                            "wildcard exception handler: catches \
+                             Out_of_memory/Stack_overflow/Assert_failure; \
+                             name the exception constructors instead"
+                          :: !out
+                  | _ -> ())
+            | _ -> ())
+          tks;
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* no-wallclock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wallclock_allowed path = path = "lib/experiments/telemetry.ml" || under "bench" path
+
+let wallclock_calls = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Sys", "time") ]
+
+let no_wallclock =
+  let name = "no-wallclock" in
+  {
+    name;
+    doc =
+      "wall-clock reads belong in lib/experiments/telemetry.ml and bench/ \
+       only; simulation results must not observe real time";
+    check =
+      (fun ctx ->
+        if wallclock_allowed ctx.path then []
+        else
+          scan_tokens ctx (fun tks i ->
+              let here = (tok tks i, tok tks (i + 2)) in
+              if
+                tok tks (i + 1) = "."
+                && tok tks (i - 1) <> "."
+                && List.exists (fun c -> c = here) wallclock_calls
+              then
+                Some
+                  (finding ~rule:name ~ctx ~at:tks.(i)
+                     (Printf.sprintf
+                        "%s.%s observes wall-clock time; route timing through \
+                         Telemetry so simulations stay a pure function of the \
+                         seed"
+                        (fst here) (snd here)))
+              else None));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mli-coverage                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mli_coverage =
+  let name = "mli-coverage" in
+  {
+    name;
+    doc = "every lib/**/*.ml must have a matching .mli interface";
+    check =
+      (fun ctx ->
+        if under "lib" ctx.path && not ctx.has_mli then
+          [
+            {
+              rule = name;
+              file = ctx.path;
+              line = 1;
+              col = 1;
+              message =
+                "missing interface file: add a .mli so the module's public \
+                 surface is explicit";
+            };
+          ]
+        else []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* no-print-in-lib                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_allowed =
+  [ "lib/experiments/report.ml"; "lib/util/table.ml"; "lib/util/asciiplot.ml" ]
+
+(* The Stdlib console writers, by name: a prefix match would also catch
+   unrelated identifiers that merely start with print_. *)
+let stdlib_printers =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_bytes"; "print_int"; "print_float"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_bytes";
+    "prerr_int"; "prerr_float";
+  ]
+
+let no_print_in_lib =
+  let name = "no-print-in-lib" in
+  {
+    name;
+    doc =
+      "stdout writes in lib/ must go through Report/Table/Asciiplot so text \
+       output stays byte-reproducible";
+    check =
+      (fun ctx ->
+        if (not (under "lib" ctx.path)) || List.mem ctx.path print_allowed then
+          []
+        else
+          scan_tokens ctx (fun tks i ->
+              let t = tok tks i in
+              let prev = tok tks (i - 1) in
+              let direct_print =
+                List.mem t stdlib_printers
+                && prev <> "."
+                && not (List.mem prev definition_keywords)
+              in
+              let formatted_print =
+                (t = "Printf" || t = "Format")
+                && tok tks (i + 1) = "."
+                && (tok tks (i + 2) = "printf" || tok tks (i + 2) = "eprintf")
+                && prev <> "."
+              in
+              if direct_print || formatted_print then
+                Some
+                  (finding ~rule:name ~ctx ~at:tks.(i)
+                     "direct console output from lib/; emit through \
+                      Report/Table/Asciiplot (or return the string) so \
+                      experiment output stays controlled")
+              else None));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    no_stdlib_random;
+    no_polymorphic_sort;
+    no_hashtbl_order;
+    no_wildcard_exn;
+    no_wallclock;
+    mli_coverage;
+    no_print_in_lib;
+  ]
+
+let names = List.map (fun r -> r.name) all
+let is_rule name = List.mem name names
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule

@@ -1,0 +1,43 @@
+(** The churnet-lint rule catalogue.
+
+    Every rule is a pure function from a lexed source file to findings.
+    Rules only ever see {e code} tokens ({!Lint_lexer.lex} already
+    stripped comments and string/char literals), so a banned construct
+    mentioned in a comment or inside a string never fires.
+
+    The catalogue guards the determinism contract of the reproduction:
+    all randomness flows through [Prng], all orderings are explicit, and
+    nothing in [lib/] writes to stdout behind the report layer's back. *)
+
+type finding = {
+  rule : string;  (** rule name, e.g. ["no-polymorphic-sort"] *)
+  file : string;  (** normalized repo-relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  message : string;
+}
+
+type context = {
+  path : string;  (** normalized repo-relative path, '/'-separated *)
+  lex : Lint_lexer.t;
+  has_mli : bool;  (** a sibling interface file exists for this [.ml] *)
+}
+
+type rule = {
+  name : string;
+  doc : string;  (** one-line description for [--list-rules] and JSON *)
+  check : context -> finding list;
+}
+
+val all : rule list
+(** The full catalogue, in documentation order. *)
+
+val names : string list
+(** Names of every rule in {!all}. *)
+
+val is_rule : string -> bool
+(** [is_rule name] is true when [name] names a rule in {!all} (used to
+    validate suppression pragmas and baseline entries). *)
+
+val compare_findings : finding -> finding -> int
+(** Total order: file, then line, then column, then rule name. *)

@@ -87,7 +87,7 @@ let kill t id =
    comparable to Snapshot adjacency. *)
 let snapshot t =
   let ids = Array.sub t.alive 0 t.alive_len in
-  Array.sort compare ids;
+  Array.sort Int.compare ids;
   let index_of = Hashtbl.create 64 in
   Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
   let n = Array.length ids in
@@ -100,6 +100,6 @@ let snapshot t =
           sets.(ib) <- ia :: sets.(ib)
       | _ -> ())
     t.edges;
-  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets in
+  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) sets in
   let births = Array.map (fun id -> Hashtbl.find t.births id) ids in
   Churnet_graph.Snapshot.make ~ids ~births ~adj ~out_deg:(Array.make n 0)

@@ -32,7 +32,7 @@ let run_pair ~seed ~script =
     (fun i kill ->
       if kill && Dyngraph.alive_count g > 1 then begin
         let ids = Dyngraph.alive_ids g in
-        Array.sort compare ids;
+        Array.sort Int.compare ids;
         let victim = ids.(Prng.int chooser (Array.length ids)) in
         Dyngraph.kill g victim;
         Reference_graph.kill r victim
@@ -77,18 +77,18 @@ let iterators_agree g =
       let via_iter = ref [] in
       Dyngraph.iter_neighbors g id (fun v -> via_iter := v :: !via_iter);
       let no_dups =
-        List.length (List.sort_uniq compare !via_iter) = List.length !via_iter
+        List.length (List.sort_uniq Int.compare !via_iter) = List.length !via_iter
       in
       if not no_dups then ok := false;
-      if List.sort compare !via_iter <> List.sort compare (Dyngraph.neighbors g id)
+      if List.sort Int.compare !via_iter <> List.sort Int.compare (Dyngraph.neighbors g id)
       then ok := false;
       let via_in = ref [] in
       Dyngraph.iter_in_neighbors g id (fun v -> via_in := v :: !via_in);
       let in_no_dups =
-        List.length (List.sort_uniq compare !via_in) = List.length !via_in
+        List.length (List.sort_uniq Int.compare !via_in) = List.length !via_in
       in
       if not in_no_dups then ok := false;
-      if List.sort compare !via_in <> List.sort compare (Dyngraph.in_neighbors g id)
+      if List.sort Int.compare !via_in <> List.sort Int.compare (Dyngraph.in_neighbors g id)
       then ok := false);
   !ok
 

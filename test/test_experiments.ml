@@ -36,7 +36,7 @@ let test_registry_lookup () =
 
 let test_registry_ids_unique () =
   let ids = List.map (fun (e : Registry.entry) -> e.id) Registry.all in
-  check_int "no duplicate ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+  check_int "no duplicate ids" (List.length ids) (List.length (List.sort_uniq String.compare ids))
 
 let test_report_rendering () =
   let r =

@@ -265,7 +265,7 @@ let test_boundary_identities () =
   let s = cycle_graph 8 in
   let set = Snapshot.set_of_indices s [| 0; 1; 2 |] in
   let b = Snapshot.boundary s set in
-  Array.sort compare b;
+  Array.sort Int.compare b;
   Alcotest.(check (array int)) "cycle arc boundary" [| 3; 7 |] b;
   Alcotest.(check int) "boundary size" 2 (Snapshot.boundary_size s set);
   (* boundary of everything is empty *)
@@ -315,7 +315,7 @@ let test_snapshot_age_order () =
   let s = Dyngraph.snapshot g in
   let births = Array.init (Snapshot.n s) (Snapshot.birth_of_index s) in
   let sorted = Array.copy births in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "index 0 = oldest" sorted births
 
 let test_snapshot_index_mapping () =

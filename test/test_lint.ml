@@ -1,0 +1,430 @@
+(* churnet-lint: lexer corner cases, rule detection, pragma suppression
+   and baseline round-trips.  Every synthetic bad sample lives inside a
+   string literal, so the repo's own lint pass (which scans test/ too)
+   never sees it as code. *)
+
+open Churnet_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_strings = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let texts src =
+  let lex = Lint_lexer.lex src in
+  Array.to_list (Array.map (fun t -> t.Lint_lexer.text) lex.Lint_lexer.tokens)
+
+let comments src =
+  let lex = Lint_lexer.lex src in
+  Array.to_list
+    (Array.map (fun c -> c.Lint_lexer.c_text) lex.Lint_lexer.comments)
+
+let rule name =
+  List.find (fun r -> r.Lint_rules.name = name) Lint_rules.all
+
+(* Run one rule over a synthetic file at a chosen fake path. *)
+let run_rule ?(has_mli = true) name ~path src =
+  let ctx = { Lint_rules.path; lex = Lint_lexer.lex src; has_mli } in
+  (rule name).Lint_rules.check ctx
+
+let rules_fired ?has_mli name ~path src =
+  List.length (run_rule ?has_mli name ~path src)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_comments () =
+  let src = "(* a (* b (* c *) *) d *) let x = 1" in
+  check_strings "code tokens only" [ "let"; "x"; "="; "1" ] (texts src);
+  match comments src with
+  | [ body ] ->
+      check_bool "inner comment kept in body" true
+        (String.length body > 0
+        && body = " a (* b (* c *) *) d ")
+  | other -> Alcotest.failf "expected 1 comment, got %d" (List.length other)
+
+let test_strings_hide_code () =
+  let src = "let s = \"Hashtbl.iter (* not a comment *) compare\" let t = 2" in
+  check_strings "string content invisible"
+    [ "let"; "s"; "="; "let"; "t"; "="; "2" ]
+    (texts src);
+  check_int "no comments from string" 0 (List.length (comments src))
+
+let test_quoted_strings () =
+  let src = "let s = {|no (* comment *) \"quotes\" compare|} let u = 4" in
+  check_strings "quoted string invisible"
+    [ "let"; "s"; "="; "let"; "u"; "="; "4" ]
+    (texts src);
+  let src2 = "let s = {foo|bar |} still inside|foo} let v = 5" in
+  check_strings "custom delimiter respected"
+    [ "let"; "s"; "="; "let"; "v"; "="; "5" ]
+    (texts src2);
+  check_int "no comments in quoted strings" 0 (List.length (comments src2))
+
+let test_char_literals () =
+  (* A double-quote char literal must not open a string... *)
+  let src = "let c = '\"' let d = 1 (* real *) let e = 2" in
+  check_strings "quote char literal"
+    [ "let"; "c"; "="; "let"; "d"; "="; "1"; "let"; "e"; "="; "2" ]
+    (texts src);
+  check_int "comment after char literal found" 1 (List.length (comments src));
+  (* ...nor must parenthesis/star char literals open a comment. *)
+  let src2 = "let p = '(' let q = '*' let r = 3" in
+  check_strings "paren and star char literals"
+    [ "let"; "p"; "="; "let"; "q"; "="; "let"; "r"; "="; "3" ]
+    (texts src2);
+  (* Escapes: newline, escaped quote, decimal escape. *)
+  let src3 = "let a = '\\n' let b = '\\'' let c = '\\065' let d = 4" in
+  check_strings "escaped char literals"
+    [ "let"; "a"; "="; "let"; "b"; "="; "let"; "c"; "="; "let"; "d"; "="; "4" ]
+    (texts src3)
+
+let test_type_variables () =
+  let src = "let f (x : 'a) (y : 'b) = x let x' = 1 let g = x' + 2" in
+  check_strings "type vars and primed idents"
+    [ "let"; "f"; "("; "x"; ":"; "a"; ")"; "("; "y"; ":"; "b"; ")"; "="; "x";
+      "let"; "x'"; "="; "1"; "let"; "g"; "="; "x'"; "+"; "2" ]
+    (texts src)
+
+let test_comment_with_string_containing_closer () =
+  let src = "(* has \"*)\" inside *) let ok = 1" in
+  check_strings "string inside comment protects closer"
+    [ "let"; "ok"; "="; "1" ]
+    (texts src)
+
+let test_token_positions () =
+  let lex = Lint_lexer.lex "let x = 1\n  let y = 2" in
+  let tk i = lex.Lint_lexer.tokens.(i) in
+  check_int "line of first token" 1 (tk 0).Lint_lexer.line;
+  check_int "col of first token" 1 (tk 0).Lint_lexer.col;
+  check_int "line after newline" 2 (tk 4).Lint_lexer.line;
+  check_int "col respects indent" 3 (tk 4).Lint_lexer.col
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_polymorphic_sort_detected () =
+  (* The regression the issue asks for: a synthetic Array.sort compare
+     sample must be caught. *)
+  let bad = "let xs = [| 3; 1 |] let () = Array.sort compare xs" in
+  check_int "Array.sort compare caught" 1
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" bad);
+  let bad2 = "let ys = List.sort compare [ 2; 1 ]" in
+  check_int "List.sort compare caught" 1
+    (rules_fired "no-polymorphic-sort" ~path:"test/fake.ml" bad2);
+  let bad3 = "let o = Stdlib.compare a b" in
+  check_int "Stdlib.compare caught" 1
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" bad3);
+  let bad4 = "let s = Array.sort (fun a b -> compare a.x b.x) arr" in
+  check_int "bare compare in lambda caught" 1
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" bad4)
+
+let test_polymorphic_sort_clean_code () =
+  let ok = "let () = Array.sort Int.compare xs" in
+  check_int "Int.compare fine" 0
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" ok);
+  let ok2 = "module M = struct type t = int let compare = Int.compare end" in
+  check_int "defining compare fine" 0
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" ok2);
+  let ok3 = "let c = String.compare a b" in
+  check_int "qualified compare fine" 0
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" ok3);
+  let ok4 = "(* mentions Array.sort compare in prose *) let x = 1" in
+  check_int "comment mention fine" 0
+    (rules_fired "no-polymorphic-sort" ~path:"lib/core/fake.ml" ok4)
+
+let test_stdlib_random () =
+  let bad = "let r = Random.int 5" in
+  check_int "Random.int caught" 1
+    (rules_fired "no-stdlib-random" ~path:"lib/core/fake.ml" bad);
+  check_int "prng.ml exempt" 0
+    (rules_fired "no-stdlib-random" ~path:"lib/util/prng.ml" bad);
+  let bad2 = "let r = Stdlib.Random.bits ()" in
+  check_int "Stdlib.Random caught" 1
+    (rules_fired "no-stdlib-random" ~path:"lib/core/fake.ml" bad2);
+  let ok = "let r = Myapp.Random.next st" in
+  check_int "non-Stdlib qualifier fine" 0
+    (rules_fired "no-stdlib-random" ~path:"lib/core/fake.ml" ok)
+
+let test_hashtbl_order () =
+  let bad = "let () = Hashtbl.iter f tbl" in
+  check_int "Hashtbl.iter caught in lib/graph" 1
+    (rules_fired "no-hashtbl-order" ~path:"lib/graph/fake.ml" bad);
+  check_int "Hashtbl.iter caught in lib/core" 1
+    (rules_fired "no-hashtbl-order" ~path:"lib/core/fake.ml" bad);
+  check_int "lib/util not restricted" 0
+    (rules_fired "no-hashtbl-order" ~path:"lib/util/fake.ml" bad);
+  let ok = "let v = Hashtbl.find_opt tbl k" in
+  check_int "lookups fine" 0
+    (rules_fired "no-hashtbl-order" ~path:"lib/graph/fake.ml" ok)
+
+let test_wildcard_exn () =
+  let bad = "let f () = try g () with _ -> 0" in
+  check_int "try-with wildcard caught" 1
+    (rules_fired "no-wildcard-exn" ~path:"lib/util/fake.ml" bad);
+  let ok = "let f x = match x with _ -> 0" in
+  check_int "match wildcard fine" 0
+    (rules_fired "no-wildcard-exn" ~path:"lib/util/fake.ml" ok);
+  let ok2 = "let f () = try g () with Not_found -> 0" in
+  check_int "named exception fine" 0
+    (rules_fired "no-wildcard-exn" ~path:"lib/util/fake.ml" ok2);
+  (* A match nested inside the try body must not steal the pop. *)
+  let bad2 = "let f x = try (match x with [] -> 0 | _ -> 1) with _ -> 2" in
+  check_int "nested match, outer wildcard caught" 1
+    (rules_fired "no-wildcard-exn" ~path:"lib/util/fake.ml" bad2);
+  (* Record update inside a try body must not steal the pop either. *)
+  let bad3 = "let f r = try { r with n = r.n + 1 } with _ -> r" in
+  check_int "record update then wildcard caught" 1
+    (rules_fired "no-wildcard-exn" ~path:"lib/util/fake.ml" bad3)
+
+let test_wallclock () =
+  let bad = "let t = Unix.gettimeofday ()" in
+  check_int "gettimeofday caught" 1
+    (rules_fired "no-wallclock" ~path:"lib/core/fake.ml" bad);
+  check_int "telemetry exempt" 0
+    (rules_fired "no-wallclock" ~path:"lib/experiments/telemetry.ml" bad);
+  check_int "bench exempt" 0
+    (rules_fired "no-wallclock" ~path:"bench/fake.ml" bad);
+  let bad2 = "let t = Sys.time ()" in
+  check_int "Sys.time caught" 1
+    (rules_fired "no-wallclock" ~path:"lib/core/fake.ml" bad2);
+  let ok = "let a = Sys.argv" in
+  check_int "other Sys fine" 0
+    (rules_fired "no-wallclock" ~path:"lib/core/fake.ml" ok)
+
+let test_mli_coverage () =
+  check_int "missing mli caught" 1
+    (rules_fired ~has_mli:false "mli-coverage" ~path:"lib/core/fake.ml" "let x = 1");
+  check_int "mli present fine" 0
+    (rules_fired ~has_mli:true "mli-coverage" ~path:"lib/core/fake.ml" "let x = 1");
+  check_int "outside lib fine" 0
+    (rules_fired ~has_mli:false "mli-coverage" ~path:"bin/fake.ml" "let x = 1")
+
+let test_print_in_lib () =
+  let bad = "let () = print_endline msg" in
+  check_int "print_endline caught in lib" 1
+    (rules_fired "no-print-in-lib" ~path:"lib/core/fake.ml" bad);
+  check_int "table.ml exempt" 0
+    (rules_fired "no-print-in-lib" ~path:"lib/util/table.ml" bad);
+  check_int "outside lib fine" 0
+    (rules_fired "no-print-in-lib" ~path:"bin/fake.ml" bad);
+  let bad2 = "let () = Printf.printf \"%d\" n" in
+  check_int "Printf.printf caught" 1
+    (rules_fired "no-print-in-lib" ~path:"lib/core/fake.ml" bad2);
+  let ok = "let s = Printf.sprintf \"%d\" n" in
+  check_int "sprintf fine" 0
+    (rules_fired "no-print-in-lib" ~path:"lib/core/fake.ml" ok);
+  let ok2 = "let print_alloc x = x" in
+  check_int "unrelated identifier fine" 0
+    (rules_fired "no-print-in-lib" ~path:"lib/core/fake.ml" ok2)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: temp trees, pragmas, baseline                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let write_file path content =
+  let rec ensure dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      ensure (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+  in
+  ensure (Filename.dirname path);
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let scratch_counter = ref 0
+
+(* Engine rules key off repo-relative paths (lib/..., test/...), so each
+   scenario builds a scratch tree and chdirs into it. *)
+let in_temp_tree f =
+  incr scratch_counter;
+  let root = Printf.sprintf "lint_scratch_%d" !scratch_counter in
+  if Sys.file_exists root then rm_rf root;
+  Sys.mkdir root 0o755;
+  let home = Sys.getcwd () in
+  Sys.chdir root;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir home;
+      rm_rf root)
+    f
+
+let run_engine ?baseline ?json ?(update_baseline = false) paths =
+  match
+    Lint_engine.run
+      { Lint_engine.paths; baseline_path = baseline; json_path = json;
+        update_baseline }
+  with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "engine error: %s" msg
+
+let bad_sort_ml = "let xs = [| 3; 1 |]\nlet () = Array.sort compare xs\n"
+let good_sort_ml = "let xs = [| 3; 1 |]\nlet () = Array.sort Int.compare xs\n"
+
+let test_engine_finds_and_sorts () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml" bad_sort_ml;
+      write_file "lib/core/bad.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      check_int "one finding" 1 (List.length outcome.Lint_engine.findings);
+      match outcome.Lint_engine.findings with
+      | [ f ] ->
+          check_bool "rule name" true (f.Lint_rules.rule = "no-polymorphic-sort");
+          check_bool "file path" true (f.Lint_rules.file = "lib/core/bad.ml");
+          check_int "line" 2 f.Lint_rules.line
+      | _ -> Alcotest.fail "expected exactly one finding")
+
+let test_pragma_suppression () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml"
+        ("let xs = [| 3; 1 |]\n"
+        ^ "(* lint: allow no-polymorphic-sort -- ints, order irrelevant *)\n"
+        ^ "let () = Array.sort compare xs\n");
+      write_file "lib/core/bad.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      check_int "suppressed by preceding-line pragma" 0
+        (List.length outcome.Lint_engine.findings);
+      check_int "counted as suppressed" 1 outcome.Lint_engine.suppressed)
+
+let test_pragma_allow_file () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml"
+        ("(* lint: allow-file no-polymorphic-sort -- synthetic fixture *)\n"
+        ^ bad_sort_ml ^ "let () = Array.sort compare xs\n");
+      write_file "lib/core/bad.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      check_int "file pragma suppresses all" 0
+        (List.length outcome.Lint_engine.findings);
+      check_int "both occurrences suppressed" 2 outcome.Lint_engine.suppressed)
+
+let test_pragma_needs_reason () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml"
+        ("let xs = [| 3; 1 |]\n"
+        ^ "(* lint: allow no-polymorphic-sort *)\n"
+        ^ "let () = Array.sort compare xs\n");
+      write_file "lib/core/bad.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      let rules =
+        List.map (fun f -> f.Lint_rules.rule) outcome.Lint_engine.findings
+      in
+      check_bool "bad-pragma reported" true (List.mem "bad-pragma" rules);
+      check_bool "finding not suppressed" true
+        (List.mem "no-polymorphic-sort" rules))
+
+let test_pragma_unknown_rule () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/ok.ml"
+        "(* lint: allow no-such-rule -- whatever *)\nlet x = 1\n";
+      write_file "lib/core/ok.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      match outcome.Lint_engine.findings with
+      | [ f ] -> check_bool "bad-pragma" true (f.Lint_rules.rule = "bad-pragma")
+      | other -> Alcotest.failf "expected 1 finding, got %d" (List.length other))
+
+let test_baseline_roundtrip () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml" bad_sort_ml;
+      write_file "lib/core/bad.mli" "";
+      (* 1. Finding fires with an empty baseline. *)
+      write_file "baseline.txt" "# empty\n";
+      let before = run_engine ~baseline:"baseline.txt" [ "lib" ] in
+      check_int "fires before baselining" 1
+        (List.length before.Lint_engine.findings);
+      (* 2. Record it. *)
+      let updated =
+        run_engine ~baseline:"baseline.txt" ~update_baseline:true [ "lib" ]
+      in
+      check_int "update leaves no findings" 0
+        (List.length updated.Lint_engine.findings);
+      check_int "update counts baselined" 1 updated.Lint_engine.baselined;
+      (* 3. Grandfathered now. *)
+      let after = run_engine ~baseline:"baseline.txt" [ "lib" ] in
+      check_int "baselined finding does not fire" 0
+        (List.length after.Lint_engine.findings);
+      check_int "absorbed by baseline" 1 after.Lint_engine.baselined;
+      (* 4. Fix the file: the entry expires. *)
+      write_file "lib/core/bad.ml" good_sort_ml;
+      let fixed = run_engine ~baseline:"baseline.txt" [ "lib" ] in
+      check_int "no findings after fix" 0
+        (List.length fixed.Lint_engine.findings);
+      check_int "entry expired" 1 (List.length fixed.Lint_engine.expired);
+      check_int "exit code stays 0" 0 (Lint_engine.exit_code fixed);
+      (* 5. --update-baseline drops the expired entry. *)
+      let _ =
+        run_engine ~baseline:"baseline.txt" ~update_baseline:true [ "lib" ]
+      in
+      let final = run_engine ~baseline:"baseline.txt" [ "lib" ] in
+      check_int "baseline empty again" 0 (List.length final.Lint_engine.expired))
+
+let test_json_report () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml" bad_sort_ml;
+      write_file "lib/core/bad.mli" "";
+      let _ = run_engine ~json:"lint-report.json" [ "lib" ] in
+      let doc =
+        Json.of_string_exn
+          (In_channel.with_open_bin "lint-report.json" In_channel.input_all)
+      in
+      check_bool "schema tag" true
+        (Json.member "schema" doc
+         |> Option.map Json.as_string
+         |> Option.join
+         = Some "churnet-lint/1");
+      match Json.member "findings" doc with
+      | Some (Json.Arr [ f ]) ->
+          check_bool "finding rule in json" true
+            (Json.member "rule" f |> Option.map Json.as_string |> Option.join
+            = Some "no-polymorphic-sort")
+      | _ -> Alcotest.fail "expected one finding in json")
+
+let test_exit_codes () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/bad.ml" bad_sort_ml;
+      write_file "lib/core/bad.mli" "";
+      let dirty = run_engine [ "lib" ] in
+      check_int "dirty tree exits 1" 1 (Lint_engine.exit_code dirty);
+      write_file "lib/core/bad.ml" good_sort_ml;
+      let clean = run_engine [ "lib" ] in
+      check_int "clean tree exits 0" 0 (Lint_engine.exit_code clean))
+
+let suite =
+  [
+    ("lexer: nested comments", `Quick, test_nested_comments);
+    ("lexer: strings hide code", `Quick, test_strings_hide_code);
+    ("lexer: quoted strings", `Quick, test_quoted_strings);
+    ("lexer: char literals", `Quick, test_char_literals);
+    ("lexer: type variables", `Quick, test_type_variables);
+    ( "lexer: comment-with-closer string",
+      `Quick,
+      test_comment_with_string_containing_closer );
+    ("lexer: token positions", `Quick, test_token_positions);
+    ("rule: polymorphic sort detected", `Quick, test_polymorphic_sort_detected);
+    ("rule: clean code passes", `Quick, test_polymorphic_sort_clean_code);
+    ("rule: stdlib random", `Quick, test_stdlib_random);
+    ("rule: hashtbl order", `Quick, test_hashtbl_order);
+    ("rule: wildcard exn", `Quick, test_wildcard_exn);
+    ("rule: wallclock", `Quick, test_wallclock);
+    ("rule: mli coverage", `Quick, test_mli_coverage);
+    ("rule: print in lib", `Quick, test_print_in_lib);
+    ("engine: finds and locates", `Quick, test_engine_finds_and_sorts);
+    ("engine: pragma suppression", `Quick, test_pragma_suppression);
+    ("engine: allow-file pragma", `Quick, test_pragma_allow_file);
+    ("engine: pragma needs reason", `Quick, test_pragma_needs_reason);
+    ("engine: unknown rule pragma", `Quick, test_pragma_unknown_rule);
+    ("engine: baseline roundtrip", `Quick, test_baseline_roundtrip);
+    ("engine: json report", `Quick, test_json_report);
+    ("engine: exit codes", `Quick, test_exit_codes);
+  ]

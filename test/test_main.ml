@@ -6,6 +6,7 @@ let () =
       ("stats", Test_stats.suite);
       ("json", Test_json.suite);
       ("util-structures", Test_util_structures.suite);
+      ("lint", Test_lint.suite);
       ("graph", Test_graph.suite);
       ("churn", Test_churn.suite);
       ("models", Test_models.suite);

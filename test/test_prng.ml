@@ -118,7 +118,7 @@ let test_shuffle_is_permutation () =
   let a = Array.init 100 Fun.id in
   Prng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
 
 let test_shuffle_moves_elements () =
@@ -133,7 +133,7 @@ let test_swr_distinct () =
     let sample = Prng.sample_without_replacement rng 20 100 in
     check_int "k elements" 20 (Array.length sample);
     let sorted = Array.copy sample in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     for i = 1 to 19 do
       check_bool "distinct" true (sorted.(i) <> sorted.(i - 1))
     done;
@@ -144,7 +144,7 @@ let test_swr_full () =
   let rng = Prng.create 43 in
   let sample = Prng.sample_without_replacement rng 10 10 in
   let sorted = Array.copy sample in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "all of 0..9" (Array.init 10 Fun.id) sorted
 
 let test_swr_dense_and_sparse_paths () =
@@ -185,7 +185,7 @@ let qcheck_props =
         let k = 1 + (seed mod n) in
         let s = Prng.sample_without_replacement rng k n in
         let sorted = Array.copy s in
-        Array.sort compare sorted;
+        Array.sort Int.compare sorted;
         let distinct = ref true in
         for i = 1 to k - 1 do
           if sorted.(i) = sorted.(i - 1) then distinct := false

@@ -146,7 +146,7 @@ let test_uf_component_sizes () =
   let uf = Union_find.create 5 in
   ignore (Union_find.union uf 0 1);
   ignore (Union_find.union uf 2 3);
-  let sizes = List.sort compare (Union_find.component_sizes uf) in
+  let sizes = List.sort Int.compare (Union_find.component_sizes uf) in
   Alcotest.(check (list int)) "sizes" [ 1; 2; 2 ] sizes
 
 (* --- Bitset --- *)
