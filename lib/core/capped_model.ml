@@ -12,7 +12,6 @@ type t = {
   churn : Poisson_churn.t;
   deficient : (int, unit) Hashtbl.t; (* nodes with empty slots to repair *)
   mutable time : float;
-  mutable newest : int;
 }
 
 let create ?rng ?(retries = 16) ~n ~d ~cap () =
@@ -30,7 +29,6 @@ let create ?rng ?(retries = 16) ~n ~d ~cap () =
     churn = Poisson_churn.create ~rng:churn_rng ~n ();
     deficient = Hashtbl.create 256;
     time = 0.;
-    newest = -1;
   }
 
 let n t = t.n
@@ -79,7 +77,6 @@ let step t =
         Dyngraph.add_node_with_targets t.graph ~birth:(Poisson_churn.round t.churn)
           ~targets:[||]
       in
-      t.newest <- id;
       Hashtbl.replace t.deficient id ()
   | Poisson_churn.Death ->
       let victim = Dyngraph.random_alive t.graph in
@@ -88,8 +85,7 @@ let step t =
       Hashtbl.remove t.deficient victim;
       List.iter
         (fun u -> if Dyngraph.is_alive t.graph u then Hashtbl.replace t.deficient u ())
-        orphans;
-      if victim = t.newest then t.newest <- -1);
+        orphans);
   (* Repair pass. *)
   (* lint: allow no-hashtbl-order — repair order follows the table's
      insertion history, itself a pure function of the seed; replays are
@@ -110,13 +106,9 @@ let warm_up t =
 
 let snapshot t = Dyngraph.snapshot t.graph
 
-let newest t =
-  if t.newest >= 0 && Dyngraph.is_alive t.graph t.newest then Some t.newest
-  else begin
-    let best = ref (-1) in
-    Dyngraph.iter_alive t.graph (fun id -> if id > !best then best := id);
-    if !best >= 0 then Some !best else None
-  end
+(* Ids are monotone with birth, so the arena's birth-list tail is the
+   youngest alive node — O(1), no cached id to invalidate. *)
+let newest t = Dyngraph.newest_alive t.graph
 
 let flood ?max_rounds t =
   let default = int_of_float (8. *. log (float_of_int t.n)) + 60 in

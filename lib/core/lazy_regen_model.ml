@@ -12,7 +12,6 @@ type t = {
   broken : (int, unit) Hashtbl.t; (* nodes with empty slots awaiting repair *)
   mutable next_tick : float;
   mutable time : float;
-  mutable newest : int;
 }
 
 let create ?rng ~n ~d ~period () =
@@ -30,7 +29,6 @@ let create ?rng ~n ~d ~period () =
     broken = Hashtbl.create 256;
     next_tick = period;
     time = 0.;
-    newest = -1;
   }
 
 let n t = t.n
@@ -74,8 +72,7 @@ let step t =
   t.time <- t.time +. dt;
   (match decision with
   | Poisson_churn.Birth ->
-      let id = Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn) in
-      t.newest <- id
+      ignore (Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn))
   | Poisson_churn.Death ->
       let victim = Dyngraph.random_alive t.graph in
       let orphans = Dyngraph.in_neighbors t.graph victim in
@@ -83,8 +80,7 @@ let step t =
       Hashtbl.remove t.broken victim;
       List.iter
         (fun u -> if Dyngraph.is_alive t.graph u then Hashtbl.replace t.broken u ())
-        orphans;
-      if victim = t.newest then t.newest <- -1);
+        orphans);
   while t.time >= t.next_tick do
     maintenance t;
     t.next_tick <- t.next_tick +. t.period
@@ -103,13 +99,9 @@ let warm_up t =
 
 let snapshot t = Dyngraph.snapshot t.graph
 
-let newest t =
-  if t.newest >= 0 && Dyngraph.is_alive t.graph t.newest then Some t.newest
-  else begin
-    let best = ref (-1) in
-    Dyngraph.iter_alive t.graph (fun id -> if id > !best then best := id);
-    if !best >= 0 then Some !best else None
-  end
+(* Ids are monotone with birth, so the arena's birth-list tail is the
+   youngest alive node — O(1), no cached id to invalidate. *)
+let newest t = Dyngraph.newest_alive t.graph
 
 let flood ?max_rounds t =
   let default = int_of_float (8. *. log (float_of_int t.n)) + 60 in

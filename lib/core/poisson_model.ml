@@ -14,7 +14,6 @@ type t = {
      executing the jump that crosses it. *)
   mutable pending : (Poisson_churn.decision * float) option;
   mutable time : float;
-  mutable newest : int;
 }
 
 let create ?rng ?lambda ~n ~d ~regenerate () =
@@ -24,7 +23,7 @@ let create ?rng ?lambda ~n ~d ~regenerate () =
   let churn_rng = Prng.split rng in
   let graph = Dyngraph.create ~rng:graph_rng ~d ~regenerate () in
   let churn = Poisson_churn.create ~rng:churn_rng ?lambda ~n () in
-  { n; d; graph; churn; rng; pending = None; time = 0.; newest = -1 }
+  { n; d; graph; churn; rng; pending = None; time = 0. }
 
 let n t = t.n
 let d t = t.d
@@ -47,12 +46,10 @@ let execute t (decision, dt) =
   t.time <- t.time +. dt;
   match decision with
   | Poisson_churn.Birth ->
-      let id = Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn) in
-      t.newest <- id
+      ignore (Dyngraph.add_node t.graph ~birth:(Poisson_churn.round t.churn))
   | Poisson_churn.Death ->
       let victim = Dyngraph.random_alive t.graph in
-      Dyngraph.kill t.graph victim;
-      if victim = t.newest then t.newest <- -1
+      Dyngraph.kill t.graph victim
 
 let step t = execute t (draw_pending t)
 
@@ -74,13 +71,10 @@ let run_until_time t deadline =
 
 let warm_up t = run_rounds t (12 * t.n)
 
-let newest t =
-  if t.newest >= 0 && Dyngraph.is_alive t.graph t.newest then Some t.newest
-  else begin
-    (* The most recent newborn died; fall back to the youngest alive. *)
-    let best = ref (-1) in
-    Dyngraph.iter_alive t.graph (fun id -> if id > !best then best := id);
-    if !best >= 0 then Some !best else None
-  end
+(* Ids are monotone with birth, so the youngest alive node — the arena's
+   birth-list tail — is exactly the most recent surviving newborn.  This
+   replaces a cached id whose invalidation forced an O(alive) rescan
+   whenever the cached newborn had died. *)
+let newest t = Dyngraph.newest_alive t.graph
 
 let snapshot t = Dyngraph.snapshot t.graph

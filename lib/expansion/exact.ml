@@ -7,7 +7,7 @@ let h_out_with_witness snap =
   (* Neighborhood masks: bit v of mask.(u) set iff {u,v} is an edge. *)
   let masks = Array.make n 0 in
   for u = 0 to n - 1 do
-    Array.iter (fun v -> masks.(u) <- masks.(u) lor (1 lsl v)) (Snapshot.neighbors snap u)
+    Snapshot.iter_neighbors snap u (fun v -> masks.(u) <- masks.(u) lor (1 lsl v))
   done;
   let best = ref infinity and witness = ref 0 in
   let full = (1 lsl n) - 1 in

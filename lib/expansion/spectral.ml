@@ -23,12 +23,17 @@ let largest_component_graph snap =
         (List.filter (fun v -> label.(v) = !best)
            (List.init (Snapshot.n snap) Fun.id))
     in
-    let local_of = Hashtbl.create (Array.length members) in
-    Array.iteri (fun i v -> Hashtbl.replace local_of v i) members;
+    let local_of = Array.make (Snapshot.n snap) (-1) in
+    Array.iteri (fun i v -> local_of.(v) <- i) members;
     let adj =
       Array.map
         (fun v ->
-          Array.map (fun w -> Hashtbl.find local_of w) (Snapshot.neighbors snap v))
+          let row = Array.make (Snapshot.degree snap v) 0 in
+          let k = ref 0 in
+          Snapshot.iter_neighbors snap v (fun w ->
+              row.(!k) <- local_of.(w);
+              incr k);
+          row)
         members
     in
     (members, adj)

@@ -1,27 +1,57 @@
 module Prng = Churnet_util.Prng
+module Intvec = Churnet_util.Intvec
 
 type node_id = int
 
-type node = {
-  id : int;
-  birth : int;
-  out_slots : int array; (* target id per slot, -1 = empty *)
-  in_edges : (int, int) Hashtbl.t; (* src id -> multiplicity *)
-}
+(* Slot-arena representation.  Node ids are external, monotone, never
+   reused; slots are internal, dense, recycled through a free list.  All
+   per-node state lives in parallel arrays indexed by slot, so the churn
+   hot path (kill + regeneration + birth) walks flat int arrays instead
+   of chasing hashtable buckets, and steady-state operation allocates
+   nothing.
 
+     id_of_slot.(s)    id living in slot s, -1 when s is free
+     birth_of_slot.(s) its birth stamp
+     out.(s*d + i)     target id of out-slot i, -1 = empty
+     in_edges.(s)      in-neighbor ids, duplicates = edge multiplicity
+     alive_pos.(s)     position of the id in the dense [alive] array
+     prev/next_slot    doubly-linked list of alive slots in birth order
+                       (oldest_slot .. youngest_slot), giving O(1)
+                       oldest_alive / newest_alive
+
+   The id -> slot map is a plain array over the window
+   [base, base + length slot_of_id): ids below [base] are dead forever
+   (ids are monotone), so the window slides forward and is compacted or
+   doubled only when a new id falls off its end — amortized O(1) per
+   birth.  See DESIGN.md, "Graph arena & CSR snapshots". *)
 type t = {
   d : int;
   regenerate : bool;
   rng : Prng.t;
-  nodes : (int, node) Hashtbl.t;
+  mutable cap : int; (* slots allocated in the arena *)
+  mutable used : int; (* high-water mark: slots ever handed out *)
+  free : Intvec.t; (* recycled slots, reused LIFO *)
+  mutable id_of_slot : int array;
+  mutable birth_of_slot : int array;
+  mutable out : int array; (* flat [cap * d] out-slot matrix *)
+  mutable in_edges : Intvec.t array;
+  mutable alive_pos : int array;
+  mutable prev_slot : int array;
+  mutable next_slot : int array;
+  mutable oldest_slot : int;
+  mutable youngest_slot : int;
+  mutable base : int; (* smallest id the slot map can still resolve *)
+  mutable slot_of_id : int array; (* (id - base) -> slot, -1 = dead *)
   mutable alive : int array; (* dense array of alive ids, for O(1) sampling *)
   mutable alive_len : int;
-  alive_index : (int, int) Hashtbl.t; (* id -> position in [alive] *)
   mutable next_id : int;
+  mutable kill_srcs : int array; (* scratch for kill's canonical regen order *)
   mutable edge_hook : (src:node_id -> dst:node_id -> unit) option;
   mutable death_hook : (node_id -> unit) option;
   mutable birth_hook : (node_id -> birth:int -> unit) option;
 }
+
+let initial_cap = 256
 
 let create ?rng ~d ~regenerate () =
   if d <= 0 then invalid_arg "Dyngraph.create: d must be positive";
@@ -30,11 +60,24 @@ let create ?rng ~d ~regenerate () =
     d;
     regenerate;
     rng;
-    nodes = Hashtbl.create 1024;
+    cap = initial_cap;
+    used = 0;
+    free = Intvec.create ~capacity:64 ();
+    id_of_slot = Array.make initial_cap (-1);
+    birth_of_slot = Array.make initial_cap 0;
+    out = Array.make (initial_cap * d) (-1);
+    in_edges = Array.init initial_cap (fun _ -> Intvec.create ~capacity:4 ());
+    alive_pos = Array.make initial_cap (-1);
+    prev_slot = Array.make initial_cap (-1);
+    next_slot = Array.make initial_cap (-1);
+    oldest_slot = -1;
+    youngest_slot = -1;
+    base = 0;
+    slot_of_id = Array.make 1024 (-1);
     alive = Array.make 1024 (-1);
     alive_len = 0;
-    alive_index = Hashtbl.create 1024;
     next_id = 0;
+    kill_srcs = Array.make 16 0;
     edge_hook = None;
     death_hook = None;
     birth_hook = None;
@@ -46,34 +89,99 @@ let set_edge_hook t hook = t.edge_hook <- hook
 let set_death_hook t hook = t.death_hook <- hook
 let set_birth_hook t hook = t.birth_hook <- hook
 let alive_count t = t.alive_len
-let is_alive t id = Hashtbl.mem t.alive_index id
 
-let get_node t id =
-  match Hashtbl.find_opt t.nodes id with
-  | Some node -> node
-  | None -> invalid_arg (Printf.sprintf "Dyngraph: node %d is not alive" id)
+let[@inline] slot_of t id =
+  if id < t.base || id >= t.next_id then -1 else t.slot_of_id.(id - t.base)
 
-let alive_push t id =
+let is_alive t id = slot_of t id >= 0
+
+let get_slot t id =
+  let s = slot_of t id in
+  if s < 0 then invalid_arg (Printf.sprintf "Dyngraph: node %d is not alive" id);
+  s
+
+let grow_arena t =
+  let old_cap = t.cap in
+  let cap = 2 * old_cap in
+  let grow a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old_cap;
+    b
+  in
+  t.id_of_slot <- grow t.id_of_slot (-1);
+  t.birth_of_slot <- grow t.birth_of_slot 0;
+  t.alive_pos <- grow t.alive_pos (-1);
+  t.prev_slot <- grow t.prev_slot (-1);
+  t.next_slot <- grow t.next_slot (-1);
+  let out = Array.make (cap * t.d) (-1) in
+  Array.blit t.out 0 out 0 (old_cap * t.d);
+  t.out <- out;
+  let inn = Array.make cap t.in_edges.(0) in
+  Array.blit t.in_edges 0 inn 0 old_cap;
+  for s = old_cap to cap - 1 do
+    inn.(s) <- Intvec.create ~capacity:4 ()
+  done;
+  t.in_edges <- inn;
+  t.cap <- cap
+
+let alloc_slot t =
+  if Intvec.length t.free > 0 then Intvec.pop t.free
+  else begin
+    if t.used = t.cap then grow_arena t;
+    let s = t.used in
+    t.used <- t.used + 1;
+    s
+  end
+
+(* Slide / grow the id -> slot window so [id] (= the id being born) has a
+   cell.  Every id below the oldest alive id is dead forever, so the
+   window can drop that prefix.  Both branches leave at least half the
+   window free ahead of [id], which amortizes the O(window) move to O(1)
+   per birth. *)
+let ensure_id_window t id =
+  let len = Array.length t.slot_of_id in
+  if id - t.base >= len then begin
+    let new_base = if t.alive_len = 0 then id else t.id_of_slot.(t.oldest_slot) in
+    let keep = id - new_base in
+    if 2 * (keep + 1) <= len then begin
+      Array.blit t.slot_of_id (new_base - t.base) t.slot_of_id 0 keep;
+      Array.fill t.slot_of_id keep (len - keep) (-1);
+      t.base <- new_base
+    end
+    else begin
+      let nlen = ref len in
+      while 2 * (keep + 1) > !nlen do
+        nlen := 2 * !nlen
+      done;
+      let arr = Array.make !nlen (-1) in
+      Array.blit t.slot_of_id (new_base - t.base) arr 0 keep;
+      t.slot_of_id <- arr;
+      t.base <- new_base
+    end
+  end
+
+let alive_push t id s =
   if t.alive_len = Array.length t.alive then begin
     let bigger = Array.make (2 * t.alive_len) (-1) in
     Array.blit t.alive 0 bigger 0 t.alive_len;
     t.alive <- bigger
   end;
   t.alive.(t.alive_len) <- id;
-  Hashtbl.replace t.alive_index id t.alive_len;
+  t.alive_pos.(s) <- t.alive_len;
   t.alive_len <- t.alive_len + 1
 
-let alive_remove t id =
-  match Hashtbl.find_opt t.alive_index id with
-  | None -> invalid_arg "Dyngraph: removing a node that is not alive"
-  | Some pos ->
-      let last = t.alive_len - 1 in
-      let moved = t.alive.(last) in
-      t.alive.(pos) <- moved;
-      Hashtbl.replace t.alive_index moved pos;
-      t.alive_len <- last;
-      Hashtbl.remove t.alive_index id;
-      if moved = id then () (* id was the last element; index already removed *)
+(* Swap-remove from the dense alive array.  When the victim is the last
+   element, [moved = id] and the writes below are self-assignments — the
+   uniform special case needs no branch. *)
+let alive_remove t s =
+  let pos = t.alive_pos.(s) in
+  if pos < 0 then invalid_arg "Dyngraph: removing a node that is not alive";
+  let last = t.alive_len - 1 in
+  let moved = t.alive.(last) in
+  t.alive.(pos) <- moved;
+  t.alive_pos.(slot_of t moved) <- pos;
+  t.alive_len <- last;
+  t.alive_pos.(s) <- -1
 
 let random_alive t =
   if t.alive_len = 0 then invalid_arg "Dyngraph.random_alive: empty graph";
@@ -91,131 +199,212 @@ let random_alive_excluding t self =
     Some (go ())
   end
 
-let incr_in_edge target src =
-  Hashtbl.replace target.in_edges src
-    (1 + Option.value ~default:0 (Hashtbl.find_opt target.in_edges src))
-
-let decr_in_edge target src =
-  match Hashtbl.find_opt target.in_edges src with
-  | None -> ()
-  | Some 1 -> Hashtbl.remove target.in_edges src
-  | Some k -> Hashtbl.replace target.in_edges src (k - 1)
-
 let fire_hook t ~src ~dst =
   match t.edge_hook with None -> () | Some f -> f ~src ~dst
 
-let add_node t ~birth =
+(* Link a fresh slot at the young end of the birth-order list. *)
+let birth_link t s =
+  t.prev_slot.(s) <- t.youngest_slot;
+  t.next_slot.(s) <- -1;
+  if t.youngest_slot >= 0 then t.next_slot.(t.youngest_slot) <- s
+  else t.oldest_slot <- s;
+  t.youngest_slot <- s
+
+let birth_unlink t s =
+  let p = t.prev_slot.(s) and nx = t.next_slot.(s) in
+  if p >= 0 then t.next_slot.(p) <- nx else t.oldest_slot <- nx;
+  if nx >= 0 then t.prev_slot.(nx) <- p else t.youngest_slot <- p;
+  t.prev_slot.(s) <- -1;
+  t.next_slot.(s) <- -1
+
+let begin_birth t ~birth =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let node = { id; birth; out_slots = Array.make t.d (-1); in_edges = Hashtbl.create 8 } in
+  let s = alloc_slot t in
+  ensure_id_window t id;
+  t.slot_of_id.(id - t.base) <- s;
+  t.id_of_slot.(s) <- id;
+  t.birth_of_slot.(s) <- birth;
+  Array.fill t.out (s * t.d) t.d (-1);
+  Intvec.clear t.in_edges.(s);
+  (id, s)
+
+let finish_birth t id s ~birth =
+  birth_link t s;
+  alive_push t id s;
+  (match t.birth_hook with None -> () | Some f -> f id ~birth);
+  let row = s * t.d in
+  for i = 0 to t.d - 1 do
+    let dst = t.out.(row + i) in
+    if dst >= 0 then fire_hook t ~src:id ~dst
+  done;
+  id
+
+let add_node t ~birth =
+  let id, s = begin_birth t ~birth in
   (* Sample destinations among nodes alive *before* this birth. *)
+  let row = s * t.d in
   for slot = 0 to t.d - 1 do
     match random_alive_excluding t id with
     | None -> ()
     | Some target_id ->
-        node.out_slots.(slot) <- target_id;
-        incr_in_edge (get_node t target_id) id
+        t.out.(row + slot) <- target_id;
+        Intvec.push t.in_edges.(slot_of t target_id) id
   done;
-  Hashtbl.replace t.nodes id node;
-  alive_push t id;
-  (match t.birth_hook with None -> () | Some f -> f id ~birth);
-  Array.iter (fun dst -> if dst >= 0 then fire_hook t ~src:id ~dst) node.out_slots;
-  id
+  finish_birth t id s ~birth
 
 let add_node_with_targets t ~birth ~targets =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let node = { id; birth; out_slots = Array.make t.d (-1); in_edges = Hashtbl.create 8 } in
+  let id, s = begin_birth t ~birth in
+  let row = s * t.d in
   let slot = ref 0 in
   Array.iter
     (fun target_id ->
-      if !slot < t.d && target_id <> id && Hashtbl.mem t.nodes target_id then begin
-        node.out_slots.(!slot) <- target_id;
-        incr_in_edge (get_node t target_id) id;
+      if !slot < t.d && target_id <> id && is_alive t target_id then begin
+        t.out.(row + !slot) <- target_id;
+        Intvec.push t.in_edges.(slot_of t target_id) id;
         incr slot
       end)
     targets;
-  Hashtbl.replace t.nodes id node;
-  alive_push t id;
-  (match t.birth_hook with None -> () | Some f -> f id ~birth);
-  Array.iter (fun dst -> if dst >= 0 then fire_hook t ~src:id ~dst) node.out_slots;
-  id
+  finish_birth t id s ~birth
 
 let peek_next_id t = t.next_id
 
 let connect t ~src ~dst =
   if src = dst then false
   else
-    match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
-    | Some src_node, Some dst_node ->
-        let slot = ref (-1) in
-        Array.iteri
-          (fun i target -> if target < 0 && !slot < 0 then slot := i)
-          src_node.out_slots;
-        if !slot < 0 then false
-        else begin
-          src_node.out_slots.(!slot) <- dst;
-          incr_in_edge dst_node src;
-          fire_hook t ~src ~dst;
-          true
-        end
-    | _ -> false
-
-let disconnect t ~src ~dst =
-  match (Hashtbl.find_opt t.nodes src, Hashtbl.find_opt t.nodes dst) with
-  | Some src_node, Some dst_node ->
+    let ss = slot_of t src and ds = slot_of t dst in
+    if ss < 0 || ds < 0 then false
+    else begin
+      let row = ss * t.d in
       let slot = ref (-1) in
-      Array.iteri
-        (fun i target -> if target = dst && !slot < 0 then slot := i)
-        src_node.out_slots;
+      for i = t.d - 1 downto 0 do
+        if t.out.(row + i) < 0 then slot := i
+      done;
       if !slot < 0 then false
       else begin
-        src_node.out_slots.(!slot) <- -1;
-        decr_in_edge dst_node src;
+        t.out.(row + !slot) <- dst;
+        Intvec.push t.in_edges.(ds) src;
+        fire_hook t ~src ~dst;
         true
       end
-  | _ -> false
+    end
 
-let in_degree t id = Hashtbl.length (get_node t id).in_edges
+let disconnect t ~src ~dst =
+  let ss = slot_of t src and ds = slot_of t dst in
+  if ss < 0 || ds < 0 then false
+  else begin
+    let row = ss * t.d in
+    let slot = ref (-1) in
+    for i = t.d - 1 downto 0 do
+      if t.out.(row + i) = dst then slot := i
+    done;
+    if !slot < 0 then false
+    else begin
+      t.out.(row + !slot) <- -1;
+      ignore (Intvec.swap_remove_first t.in_edges.(ds) src);
+      true
+    end
+  end
+
+(* Number of distinct values in [v]; O(k^2) backward scan with k of the
+   order of d, where it beats any allocated dedup structure. *)
+let distinct_count v =
+  let k = Intvec.length v in
+  let c = ref 0 in
+  for i = 0 to k - 1 do
+    let x = Intvec.get v i in
+    let dup = ref false in
+    for j = 0 to i - 1 do
+      if Intvec.get v j = x then dup := true
+    done;
+    if not !dup then incr c
+  done;
+  !c
+
+let in_degree t id = distinct_count t.in_edges.(get_slot t id)
+
+let sort_range a lo n =
+  for i = lo + 1 to lo + n - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
 
 let kill t id =
-  let node = get_node t id in
+  let s = get_slot t id in
   (match t.death_hook with None -> () | Some f -> f id);
   (* Remove from the alive set first so regeneration cannot choose [id]. *)
-  alive_remove t id;
-  Hashtbl.remove t.nodes id;
-  (* Drop this node's out-edges from its targets' in-edge tables. *)
-  Array.iter
-    (fun target_id ->
-      if target_id >= 0 then
-        match Hashtbl.find_opt t.nodes target_id with
-        | Some target -> decr_in_edge target id
-        | None -> ())
-    node.out_slots;
+  alive_remove t s;
+  t.slot_of_id.(id - t.base) <- -1;
+  birth_unlink t s;
+  (* Drop this node's out-edges from its targets' in-edge lists. *)
+  let row = s * t.d in
+  for i = 0 to t.d - 1 do
+    let target = t.out.(row + i) in
+    if target >= 0 then begin
+      let ts = slot_of t target in
+      if ts >= 0 then ignore (Intvec.swap_remove_first t.in_edges.(ts) id)
+    end
+  done;
   (* Each surviving in-neighbor loses the slots that pointed here and, with
-     regeneration, immediately re-samples them over the current alive set. *)
-  (* lint: allow no-hashtbl-order — regeneration draws follow the table's
-     insertion history, itself a pure function of the seed; replays are
-     bit-identical (guarded by test_differential). *)
-  Hashtbl.iter
-    (fun src_id _multiplicity ->
-      match Hashtbl.find_opt t.nodes src_id with
-      | None -> ()
-      | Some src ->
-          Array.iteri
-            (fun slot target ->
-              if target = id then begin
-                src.out_slots.(slot) <- -1;
-                if t.regenerate then
-                  match random_alive_excluding t src_id with
-                  | None -> ()
-                  | Some fresh ->
-                      src.out_slots.(slot) <- fresh;
-                      incr_in_edge (get_node t fresh) src_id;
-                      fire_hook t ~src:src_id ~dst:fresh
-              end)
-            src.out_slots)
-    node.in_edges
+     regeneration, immediately re-samples them over the current alive set.
+     In-neighbors are processed oldest-first (ascending id) so the mapping
+     of PRNG draws to regenerated slots is a fixed, documented order — not
+     an artifact of the in-edge container's internal layout.  The in-edge
+     list is copied to scratch, sorted, and deduped (duplicates encode
+     multiplicity) without allocating. *)
+  let inv = t.in_edges.(s) in
+  let k = Intvec.length inv in
+  if k > 0 then begin
+    if Array.length t.kill_srcs < k then begin
+      let n = ref (Array.length t.kill_srcs) in
+      while !n < k do
+        n := 2 * !n
+      done;
+      t.kill_srcs <- Array.make !n 0
+    end;
+    let srcs = t.kill_srcs in
+    for i = 0 to k - 1 do
+      srcs.(i) <- Intvec.get inv i
+    done;
+    sort_range srcs 0 k;
+    let m = ref 0 in
+    for i = 0 to k - 1 do
+      if i = 0 || srcs.(i) <> srcs.(i - 1) then begin
+        srcs.(!m) <- srcs.(i);
+        incr m
+      end
+    done;
+    for i = 0 to !m - 1 do
+      let src = srcs.(i) in
+      let ss = slot_of t src in
+      if ss >= 0 then begin
+        let srow = ss * t.d in
+        for slot = 0 to t.d - 1 do
+          if t.out.(srow + slot) = id then begin
+            t.out.(srow + slot) <- -1;
+            if t.regenerate then
+              match random_alive_excluding t src with
+              | None -> ()
+              | Some fresh ->
+                  t.out.(srow + slot) <- fresh;
+                  Intvec.push t.in_edges.(slot_of t fresh) src;
+                  fire_hook t ~src ~dst:fresh
+          end
+        done
+      end
+    done
+  end;
+  (* Recycle the slot: clear everything so the next occupant starts
+     pristine, then push it on the free list. *)
+  t.id_of_slot.(s) <- -1;
+  Array.fill t.out row t.d (-1);
+  Intvec.clear t.in_edges.(s);
+  Intvec.push t.free s
 
 let iter_alive t f =
   for i = 0 to t.alive_len - 1 do
@@ -223,159 +412,255 @@ let iter_alive t f =
   done
 
 let alive_ids t = Array.sub t.alive 0 t.alive_len
-let birth_of t id = (get_node t id).birth
+let birth_of t id = t.birth_of_slot.(get_slot t id)
 
 let out_targets t id =
-  let node = get_node t id in
-  Array.fold_right (fun target acc -> if target >= 0 then target :: acc else acc)
-    node.out_slots []
+  let s = get_slot t id in
+  let row = s * t.d in
+  let acc = ref [] in
+  for i = t.d - 1 downto 0 do
+    let target = t.out.(row + i) in
+    if target >= 0 then acc := target :: !acc
+  done;
+  !acc
 
-let out_slots_raw t id = Array.copy (get_node t id).out_slots
+let out_slots_raw t id =
+  let s = get_slot t id in
+  Array.sub t.out (s * t.d) t.d
 
 let out_slot t id slot =
-  let node = get_node t id in
-  if slot < 0 || slot >= Array.length node.out_slots then
-    invalid_arg "Dyngraph.out_slot: slot out of range";
-  node.out_slots.(slot)
+  let s = get_slot t id in
+  if slot < 0 || slot >= t.d then invalid_arg "Dyngraph.out_slot: slot out of range";
+  t.out.((s * t.d) + slot)
 
 let in_neighbors t id =
-  let node = get_node t id in
-  (* lint: allow no-hashtbl-order — documented as unordered; order-sensitive
-     consumers (Snapshot, tests) sort before use. *)
-  Hashtbl.fold (fun src _ acc -> src :: acc) node.in_edges []
+  let s = get_slot t id in
+  let acc = ref [] in
+  Intvec.iter (fun src -> acc := src :: !acc) t.in_edges.(s);
+  List.sort_uniq Int.compare !acc
 
 let neighbors t id =
-  let node = get_node t id in
-  let seen = Hashtbl.create 16 in
-  Array.iter
-    (fun target -> if target >= 0 then Hashtbl.replace seen target ())
-    node.out_slots;
-  (* lint: allow no-hashtbl-order — builds a dedup set; membership only. *)
-  Hashtbl.iter (fun src _ -> Hashtbl.replace seen src ()) node.in_edges;
-  (* lint: allow no-hashtbl-order — documented as unordered; order-sensitive
-     consumers (Snapshot, tests) sort before use. *)
-  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  let s = get_slot t id in
+  let acc = ref [] in
+  let row = s * t.d in
+  for i = 0 to t.d - 1 do
+    let target = t.out.(row + i) in
+    if target >= 0 then acc := target :: !acc
+  done;
+  Intvec.iter (fun src -> acc := src :: !acc) t.in_edges.(s);
+  List.sort_uniq Int.compare !acc
 
 (* Allocation-free neighborhood iteration for the simulation hot loops.
-   Distinctness without a scratch set: an out-slot target is skipped when it
-   is also an in-neighbor (the in-edge pass will visit it) or when an
-   earlier slot already holds it (O(d^2) scan; d is a small constant). *)
+   Distinctness without a scratch set: an out-slot target is skipped when
+   it is also an in-neighbor (the in-edge pass will visit it) or when an
+   earlier slot already holds it; an in-edge entry is visited only at its
+   first occurrence.  Both scans are O(k^2) with k of the order of d. *)
 let iter_neighbors t id f =
-  let node = get_node t id in
-  let slots = node.out_slots in
-  for i = 0 to Array.length slots - 1 do
-    let v = slots.(i) in
-    if v >= 0 && not (Hashtbl.mem node.in_edges v) then begin
+  let s = get_slot t id in
+  let row = s * t.d in
+  let inv = t.in_edges.(s) in
+  for i = 0 to t.d - 1 do
+    let v = t.out.(row + i) in
+    if v >= 0 && not (Intvec.mem inv v) then begin
       let dup = ref false in
       for j = 0 to i - 1 do
-        if slots.(j) = v then dup := true
+        if t.out.(row + j) = v then dup := true
       done;
       if not !dup then f v
     end
   done;
-  (* lint: allow no-hashtbl-order — iteration contract is unordered; hot-path
-     consumers (Flood, Probe) fold into bitsets and counters. *)
-  Hashtbl.iter (fun src _ -> f src) node.in_edges
+  let k = Intvec.length inv in
+  for i = 0 to k - 1 do
+    let src = Intvec.get inv i in
+    let dup = ref false in
+    for j = 0 to i - 1 do
+      if Intvec.get inv j = src then dup := true
+    done;
+    if not !dup then f src
+  done
 
 let iter_in_neighbors t id f =
-  let node = get_node t id in
-  (* lint: allow no-hashtbl-order — iteration contract is unordered; hot-path
-     consumers (Flood, Probe) fold into bitsets and counters. *)
-  Hashtbl.iter (fun src _ -> f src) node.in_edges
+  let s = get_slot t id in
+  let inv = t.in_edges.(s) in
+  let k = Intvec.length inv in
+  for i = 0 to k - 1 do
+    let src = Intvec.get inv i in
+    let dup = ref false in
+    for j = 0 to i - 1 do
+      if Intvec.get inv j = src then dup := true
+    done;
+    if not !dup then f src
+  done
 
-let degree t id = List.length (neighbors t id)
+let degree t id =
+  let count = ref 0 in
+  iter_neighbors t id (fun _ -> incr count);
+  !count
 
 let out_degree t id =
-  let node = get_node t id in
-  Array.fold_left (fun acc target -> if target >= 0 then acc + 1 else acc) 0 node.out_slots
+  let s = get_slot t id in
+  let row = s * t.d in
+  let count = ref 0 in
+  for i = 0 to t.d - 1 do
+    if t.out.(row + i) >= 0 then incr count
+  done;
+  !count
 
 let edge_count t =
   let total = ref 0 in
   iter_alive t (fun id -> total := !total + out_degree t id);
   !total
 
-let oldest_alive t =
-  if t.alive_len = 0 then None
-  else begin
-    let best = ref max_int in
-    iter_alive t (fun id -> if id < !best then best := id);
-    Some !best
-  end
+let oldest_alive t = if t.oldest_slot < 0 then None else Some t.id_of_slot.(t.oldest_slot)
 
+let newest_alive t =
+  if t.youngest_slot < 0 then None else Some t.id_of_slot.(t.youngest_slot)
+
+(* Snapshot straight from the arena into CSR form: one growable flat
+   buffer, rows gathered per node then sorted + deduped in place.  The
+   id -> index translation is an O(1) slot-indexed lookup, not a search. *)
 let snapshot t =
+  let n = t.alive_len in
   let ids = alive_ids t in
   Array.sort Int.compare ids;
-  let n = Array.length ids in
-  let index_of = Hashtbl.create (2 * n) in
-  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
-  let births = Array.map (fun id -> (get_node t id).birth) ids in
-  let out_deg = Array.map (fun id -> out_degree t id) ids in
-  let adj =
-    Array.map
-      (fun id ->
-        let neigh = neighbors t id in
-        let arr = List.filter_map (fun v -> Hashtbl.find_opt index_of v) neigh in
-        let arr = Array.of_list arr in
-        Array.sort Int.compare arr;
-        arr)
-      ids
+  let births = Array.make n 0 in
+  let out_deg = Array.make n 0 in
+  let index_of_slot = Array.make (max 1 t.used) (-1) in
+  for i = 0 to n - 1 do
+    let s = slot_of t ids.(i) in
+    index_of_slot.(s) <- i;
+    births.(i) <- t.birth_of_slot.(s)
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  let buf = ref (Array.make (max 16 (4 * n)) 0) in
+  let len = ref 0 in
+  let push v =
+    let b = !buf in
+    if !len = Array.length b then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit b 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- v;
+    incr len
   in
-  Snapshot.make ~ids ~births ~adj ~out_deg
+  for i = 0 to n - 1 do
+    let s = slot_of t ids.(i) in
+    let start = !len in
+    let row = s * t.d in
+    let odeg = ref 0 in
+    for k = 0 to t.d - 1 do
+      let target = t.out.(row + k) in
+      if target >= 0 then begin
+        incr odeg;
+        push index_of_slot.(slot_of t target)
+      end
+    done;
+    out_deg.(i) <- !odeg;
+    Intvec.iter (fun src -> push index_of_slot.(slot_of t src)) t.in_edges.(s);
+    let b = !buf in
+    sort_range b start (!len - start);
+    let w = ref start in
+    for r = start to !len - 1 do
+      if r = start || b.(r) <> b.(r - 1) then begin
+        b.(!w) <- b.(r);
+        incr w
+      end
+    done;
+    len := !w;
+    offsets.(i + 1) <- !len
+  done;
+  Snapshot.of_csr ~ids ~births ~offsets ~adj:(Array.sub !buf 0 !len) ~out_deg
 
 let check_invariants t =
   let err = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
-  (* alive array and index agree *)
+  (* alive array, alive_pos and the id map agree *)
   for i = 0 to t.alive_len - 1 do
     let id = t.alive.(i) in
-    (match Hashtbl.find_opt t.alive_index id with
-    | Some j when j = i -> ()
-    | _ -> fail "alive index mismatch for node %d" id);
-    if not (Hashtbl.mem t.nodes id) then fail "alive node %d missing record" id
+    let s = slot_of t id in
+    if s < 0 then fail "alive node %d not mapped to a slot" id
+    else begin
+      if t.alive_pos.(s) <> i then fail "alive index mismatch for node %d" id;
+      if t.id_of_slot.(s) <> id then fail "slot %d does not map back to node %d" s id
+    end
   done;
-  if Hashtbl.length t.alive_index <> t.alive_len then fail "alive index size mismatch";
-  if Hashtbl.length t.nodes <> t.alive_len then fail "node table size mismatch";
-  (* slot / in-edge symmetry *)
-  (* lint: allow no-hashtbl-order — invariant sweep: only whether a violation
-     exists matters, not which one is reported first. *)
-  Hashtbl.iter
-    (fun id node ->
-      Array.iter
-        (fun target ->
-          if target >= 0 then begin
-            if target = id then fail "self-loop at node %d" id;
-            match Hashtbl.find_opt t.nodes target with
-            | None -> fail "node %d has slot to dead node %d" id target
-            | Some tgt ->
-                if Option.value ~default:0 (Hashtbl.find_opt tgt.in_edges id) <= 0 then
-                  fail "slot %d->%d not recorded as in-edge" id target
-          end)
-        node.out_slots;
-      (* lint: allow no-hashtbl-order — invariant sweep: only whether a
-         violation exists matters, not which one is reported first. *)
-      Hashtbl.iter
-        (fun src mult ->
-          if mult <= 0 then fail "non-positive multiplicity %d->%d" src id;
-          match Hashtbl.find_opt t.nodes src with
-          | None -> fail "in-edge from dead node %d at %d" src id
-          | Some src_node ->
-              let count =
-                Array.fold_left
-                  (fun acc target -> if target = id then acc + 1 else acc)
-                  0 src_node.out_slots
-              in
-              if count <> mult then
-                fail "multiplicity mismatch %d->%d: slots %d, recorded %d" src id count
-                  mult)
-        node.in_edges;
-      if t.regenerate && t.alive_len >= 2 then begin
-        let filled =
-          Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 node.out_slots
-        in
-        (* Nodes born into a near-empty graph may have permanently empty
-           slots; regeneration only refills slots that once held an edge.
-           Any node born when >= d+1 nodes were alive must be full. *)
-        ignore filled
-      end)
-    t.nodes;
+  let mapped = ref 0 in
+  Array.iter (fun s -> if s >= 0 then incr mapped) t.slot_of_id;
+  if !mapped <> t.alive_len then fail "alive index size mismatch";
+  (* used slots partition into alive slots and the free list *)
+  if Intvec.length t.free + t.alive_len <> t.used then fail "slot accounting mismatch";
+  Intvec.iter
+    (fun s ->
+      if t.id_of_slot.(s) >= 0 then fail "free slot %d still mapped" s;
+      if t.alive_pos.(s) >= 0 then fail "free slot %d still in alive array" s;
+      if Intvec.length t.in_edges.(s) <> 0 then fail "free slot %d keeps in-edges" s;
+      for i = 0 to t.d - 1 do
+        if t.out.((s * t.d) + i) >= 0 then fail "free slot %d keeps out-edges" s
+      done)
+    t.free;
+  (* birth-order list covers exactly the alive slots, ids ascending *)
+  let steps = ref 0 in
+  let prev_id = ref (-1) in
+  let cursor = ref t.oldest_slot in
+  let broken = ref false in
+  while !cursor >= 0 && not !broken do
+    let s = !cursor in
+    let id = t.id_of_slot.(s) in
+    if id < 0 then begin
+      fail "birth list visits free slot %d" s;
+      broken := true
+    end
+    else begin
+      if id <= !prev_id then fail "birth list not ascending at node %d" id;
+      prev_id := id;
+      let nx = t.next_slot.(s) in
+      if nx >= 0 && t.prev_slot.(nx) <> s then fail "birth list links broken at slot %d" s;
+      incr steps;
+      if !steps > t.alive_len then begin
+        fail "birth list longer than the alive set";
+        broken := true
+      end;
+      cursor := nx
+    end
+  done;
+  if (not !broken) && !steps <> t.alive_len then fail "birth list length mismatch";
+  if t.alive_len > 0 && t.youngest_slot >= 0 && t.next_slot.(t.youngest_slot) >= 0 then
+    fail "youngest slot has a successor";
+  (* slot / in-edge symmetry, counted in both directions *)
+  let count_row s v =
+    let row = s * t.d in
+    let c = ref 0 in
+    for i = 0 to t.d - 1 do
+      if t.out.(row + i) = v then incr c
+    done;
+    !c
+  in
+  let count_in s v =
+    let c = ref 0 in
+    Intvec.iter (fun x -> if x = v then incr c) t.in_edges.(s);
+    !c
+  in
+  iter_alive t (fun id ->
+      let s = slot_of t id in
+      let row = s * t.d in
+      for i = 0 to t.d - 1 do
+        let target = t.out.(row + i) in
+        if target >= 0 then begin
+          if target = id then fail "self-loop at node %d" id;
+          let ts = slot_of t target in
+          if ts < 0 then fail "node %d has slot to dead node %d" id target
+          else if count_in ts id <> count_row s target then
+            fail "multiplicity mismatch %d->%d: slots %d, recorded %d" id target
+              (count_row s target) (count_in ts id)
+        end
+      done;
+      Intvec.iter
+        (fun src ->
+          let ss = slot_of t src in
+          if ss < 0 then fail "in-edge from dead node %d at %d" src id
+          else if count_row ss id <> count_in s src then
+            fail "multiplicity mismatch %d->%d: slots %d, recorded %d" src id
+              (count_row ss id) (count_in s src))
+        t.in_edges.(s));
   match !err with None -> Ok () | Some e -> Error e

@@ -75,8 +75,11 @@ val in_degree : t -> node_id -> int
 
 val kill : t -> node_id -> unit
 (** Death: remove the node and all incident edges; trigger regeneration on
-    surviving in-neighbors if enabled.  Raises [Invalid_argument] if the
-    node is not alive. *)
+    surviving in-neighbors if enabled.  In-neighbors regenerate
+    oldest-first (ascending id), slots in increasing index order — a fixed
+    part of the interface, so the PRNG draw sequence of a run never
+    depends on the graph's internal layout.  Raises [Invalid_argument] if
+    the node is not alive. *)
 
 val alive_count : t -> int
 val is_alive : t -> node_id -> bool
@@ -105,10 +108,10 @@ val out_slot : t -> node_id -> int -> node_id
     a slot index outside [0, d). *)
 
 val in_neighbors : t -> node_id -> node_id list
-(** Distinct alive in-neighbors. *)
+(** Distinct alive in-neighbors, sorted ascending. *)
 
 val neighbors : t -> node_id -> node_id list
-(** Distinct neighbors = out targets U in-neighbors. *)
+(** Distinct neighbors = out targets U in-neighbors, sorted ascending. *)
 
 val iter_neighbors : t -> node_id -> (node_id -> unit) -> unit
 (** [iter_neighbors t id f] calls [f] exactly once per distinct neighbor
@@ -129,7 +132,13 @@ val edge_count : t -> int
 (** Number of out-slot edges currently alive (with multiplicity). *)
 
 val oldest_alive : t -> node_id option
-(** Minimum id among alive nodes, i.e. the oldest node. *)
+(** Minimum id among alive nodes, i.e. the oldest node.  O(1): the arena
+    threads a birth-ordered list through the alive slots. *)
+
+val newest_alive : t -> node_id option
+(** Maximum id among alive nodes, i.e. the youngest node.  O(1); the
+    churn models use it to report the newest vertex without scanning
+    the alive set. *)
 
 val snapshot : t -> Snapshot.t
 (** Freeze the current topology for analysis. *)

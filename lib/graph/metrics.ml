@@ -1,35 +1,16 @@
 module Prng = Churnet_util.Prng
 
-(* Count triangles and wedges.  Adjacency lists are sorted, so common
-   neighbors are found by merge; each triangle is counted once per corner
-   and divided out at the end. *)
+(* Count triangles and wedges.  CSR rows are sorted, so common neighbors
+   are found by merge directly on the flat adjacency; each triangle is
+   counted once per corner and divided out at the end. *)
 let triangles_and_wedges snap =
   let n = Snapshot.n snap in
   let triangles = ref 0 and wedges = ref 0 in
-  let common_count a b =
-    let la = Array.length a and lb = Array.length b in
-    let i = ref 0 and j = ref 0 and c = ref 0 in
-    while !i < la && !j < lb do
-      let x = a.(!i) and y = b.(!j) in
-      if x = y then begin
-        incr c;
-        incr i;
-        incr j
-      end
-      else if x < y then incr i
-      else incr j
-    done;
-    !c
-  in
   for v = 0 to n - 1 do
-    let neigh = Snapshot.neighbors snap v in
-    let deg = Array.length neigh in
+    let deg = Snapshot.degree snap v in
     wedges := !wedges + (deg * (deg - 1) / 2);
-    Array.iter
-      (fun w ->
-        if w > v then
-          triangles := !triangles + common_count neigh (Snapshot.neighbors snap w))
-      neigh
+    Snapshot.iter_neighbors snap v (fun w ->
+        if w > v then triangles := !triangles + Snapshot.common_neighbors snap v w)
   done;
   (* Each triangle contributes one common-neighbor hit per edge (v < w),
      i.e. 3 hits total. *)
@@ -43,27 +24,15 @@ let mean_local_clustering snap =
   let n = Snapshot.n snap in
   let acc = ref 0. and count = ref 0 in
   for v = 0 to n - 1 do
-    let neigh = Snapshot.neighbors snap v in
-    let deg = Array.length neigh in
+    let deg = Snapshot.degree snap v in
     if deg >= 2 then begin
       let links = ref 0 in
-      let member u arr =
-        (* binary search in the sorted adjacency *)
-        let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref false in
-        while !lo <= !hi && not !found do
-          let mid = (!lo + !hi) / 2 in
-          if arr.(mid) = u then found := true
-          else if arr.(mid) < u then lo := mid + 1
-          else hi := mid - 1
-        done;
-        !found
-      in
-      Array.iteri
-        (fun i a ->
-          for j = i + 1 to deg - 1 do
-            if member neigh.(j) (Snapshot.neighbors snap a) then incr links
-          done)
-        neigh;
+      for i = 0 to deg - 1 do
+        let a = Snapshot.neighbor snap v i in
+        for j = i + 1 to deg - 1 do
+          if Snapshot.mem_edge snap a (Snapshot.neighbor snap v j) then incr links
+        done
+      done;
       acc := !acc +. (2. *. float_of_int !links /. float_of_int (deg * (deg - 1)));
       incr count
     end
@@ -74,8 +43,7 @@ let degree_assortativity snap =
   let pairs = ref [] in
   let n = Snapshot.n snap in
   for v = 0 to n - 1 do
-    Array.iter
-      (fun w ->
+    Snapshot.iter_neighbors snap v (fun w ->
         if w > v then begin
           let dv = float_of_int (Snapshot.degree snap v) in
           let dw = float_of_int (Snapshot.degree snap w) in
@@ -83,7 +51,6 @@ let degree_assortativity snap =
              correlation. *)
           pairs := (dv, dw) :: (dw, dv) :: !pairs
         end)
-      (Snapshot.neighbors snap v)
   done;
   Churnet_util.Stats.pearson (Array.of_list !pairs)
 

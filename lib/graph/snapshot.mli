@@ -3,15 +3,35 @@
     analyses (BFS, components, set boundaries, degree census).
 
     Index 0..n-1 ordering follows increasing node id, hence increasing
-    birth time: index 0 is the oldest alive node. *)
+    birth time: index 0 is the oldest alive node.
+
+    The adjacency is stored in CSR form (flat [offsets]/[neighbors]
+    arrays): rows are sorted, distinct, and cache-linear to scan, and the
+    analysis kernels (BFS, boundary, triangle counting) should iterate
+    with {!iter_neighbors} / {!neighbor} / {!common_neighbors} rather than
+    materializing per-row arrays with {!neighbors}. *)
 
 type t
 
 val make :
   ids:int array -> births:int array -> adj:int array array -> out_deg:int array -> t
-(** Build a snapshot from raw arrays (used by {!Dyngraph.snapshot} and by
-    tests).  [adj] must be symmetric and deduplicated; [ids] must be
-    strictly increasing. *)
+(** Build a snapshot from raw arrays (used by tests and {!Event_log}
+    replay).  [adj] rows must be sorted, symmetric and deduplicated;
+    [ids] must be strictly increasing.  The rows are flattened into the
+    CSR layout. *)
+
+val of_csr :
+  ids:int array ->
+  births:int array ->
+  offsets:int array ->
+  adj:int array ->
+  out_deg:int array ->
+  t
+(** Zero-copy constructor from an already-flat CSR adjacency (used by
+    {!Dyngraph.snapshot}): row i is [adj.(offsets.(i)) ..
+    adj.(offsets.(i+1) - 1)], sorted and distinct; [offsets] has length
+    n+1 with [offsets.(0) = 0] and [offsets.(n) = Array.length adj].
+    The arrays are owned by the snapshot afterwards — do not mutate. *)
 
 val of_edges : n:int -> (int * int) list -> t
 (** Convenience constructor for tests: nodes 0..n-1 with the given
@@ -23,7 +43,25 @@ val id_of_index : t -> int -> int
 val index_of_id : t -> int -> int option
 val birth_of_index : t -> int -> int
 val neighbors : t -> int -> int array
-(** Adjacency of a snapshot index (distinct, sorted). *)
+(** Adjacency of a snapshot index (distinct, sorted) as a fresh array —
+    this copies the CSR row; hot paths should use {!iter_neighbors} or
+    {!neighbor} instead. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Apply a function to each neighbor of an index, ascending, without
+    allocating. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t i k] is the k-th smallest neighbor of index [i]
+    (0 <= k < [degree t i]); O(1) CSR access. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge t i j] iff {i, j} is an edge — binary search in row [i],
+    O(log degree). *)
+
+val common_neighbors : t -> int -> int -> int
+(** Number of shared neighbors of two indices, by sorted-row merge —
+    the triangle-counting kernel of {!Metrics}. *)
 
 val degree : t -> int -> int
 val out_degree : t -> int -> int

@@ -20,6 +20,25 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Intvec.get";
   t.buf.(i)
 
+let pop t =
+  if t.len = 0 then invalid_arg "Intvec.pop: empty";
+  t.len <- t.len - 1;
+  t.buf.(t.len)
+
+let mem t v =
+  let rec go i = i < t.len && (t.buf.(i) = v || go (i + 1)) in
+  go 0
+
+let swap_remove_first t v =
+  let rec find i = if i >= t.len then -1 else if t.buf.(i) = v then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    t.len <- t.len - 1;
+    t.buf.(i) <- t.buf.(t.len);
+    true
+  end
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.buf.(i)

@@ -329,6 +329,118 @@ let test_snapshot_index_mapping () =
       | None -> Alcotest.fail "id missing from snapshot")
     ids
 
+(* Regression for the alive-array swap-remove corner: killing the node
+   that sits in the *last* position removes it without corrupting the
+   dense array (the "moved" element is the victim itself). *)
+let test_kill_last_alive_position () =
+  let g = fresh ~d:2 () in
+  let a = Dyngraph.add_node g ~birth:1 in
+  let b = Dyngraph.add_node g ~birth:2 in
+  let c = Dyngraph.add_node g ~birth:3 in
+  (* c was pushed last, so it occupies the final alive position. *)
+  Dyngraph.kill g c;
+  check_bool "victim gone" false (Dyngraph.is_alive g c);
+  check_int "two survivors" 2 (Dyngraph.alive_count g);
+  check_bool "a still alive" true (Dyngraph.is_alive g a);
+  check_bool "b still alive" true (Dyngraph.is_alive g b);
+  let seen = ref [] in
+  Dyngraph.iter_alive g (fun id -> seen := id :: !seen);
+  Alcotest.(check (list int))
+    "alive array holds exactly the survivors" [ a; b ]
+    (List.sort Int.compare !seen);
+  assert_invariants g;
+  (* Same corner via the churn path: repeatedly kill the newest node. *)
+  let g = fresh ~d:3 ~regenerate:true () in
+  for i = 1 to 10 do
+    ignore (Dyngraph.add_node g ~birth:i)
+  done;
+  for _ = 1 to 5 do
+    match Dyngraph.newest_alive g with
+    | Some id -> Dyngraph.kill g id
+    | None -> Alcotest.fail "newest_alive empty on populated graph"
+  done;
+  check_int "five survivors" 5 (Dyngraph.alive_count g);
+  assert_invariants g
+
+(* Slot recycling across generations: kills free arena slots, rebirths
+   reuse them, and nothing leaks between occupants — ids stay globally
+   unique, hooks report the original (external) ids, and the alive
+   bookkeeping stays exact. *)
+let test_slot_recycling_generations () =
+  let g = fresh ~seed:43 ~d:3 ~regenerate:true () in
+  let born = ref [] and died = ref [] in
+  Dyngraph.set_birth_hook g (Some (fun id ~birth:_ -> born := id :: !born));
+  Dyngraph.set_death_hook g (Some (fun id -> died := id :: !died));
+  let all_ids = Hashtbl.create 256 in
+  let record id =
+    check_bool "id never reused" false (Hashtbl.mem all_ids id);
+    Hashtbl.replace all_ids id ()
+  in
+  for i = 1 to 20 do
+    record (Dyngraph.add_node g ~birth:i)
+  done;
+  (* Three full generations: each kills every current node (freeing all
+     slots) and then repopulates, forcing the free list to recycle. *)
+  for gen = 1 to 3 do
+    let victims = Array.to_list (Dyngraph.alive_ids g) in
+    List.iter (fun id -> Dyngraph.kill g id) victims;
+    check_int "graph emptied" 0 (Dyngraph.alive_count g);
+    List.iter
+      (fun id -> check_bool "killed id stays dead" false (Dyngraph.is_alive g id))
+      victims;
+    for i = 1 to 20 do
+      record (Dyngraph.add_node g ~birth:((100 * gen) + i))
+    done;
+    check_int "repopulated" 20 (Dyngraph.alive_count g);
+    assert_invariants g
+  done;
+  (* Hooks saw exactly the external ids we recorded, each once. *)
+  let sorted l = List.sort Int.compare l in
+  let every_id = sorted (Hashtbl.fold (fun id () acc -> id :: acc) all_ids []) in
+  Alcotest.(check (list int)) "birth hook ids = allocated ids" every_id (sorted !born);
+  let expected_deaths =
+    List.filter (fun id -> not (Dyngraph.is_alive g id)) every_id
+  in
+  Alcotest.(check (list int)) "death hook ids = killed ids" expected_deaths
+    (sorted !died);
+  (* iter_alive agrees with is_alive after all the recycling. *)
+  let from_iter = ref [] in
+  Dyngraph.iter_alive g (fun id -> from_iter := id :: !from_iter);
+  Alcotest.(check (list int))
+    "iter_alive = { id | is_alive }"
+    (List.filter (Dyngraph.is_alive g) every_id)
+    (sorted !from_iter)
+
+let test_newest_alive () =
+  let g = fresh ~d:2 () in
+  check_bool "empty -> none" true (Dyngraph.newest_alive g = None);
+  let a = Dyngraph.add_node g ~birth:1 in
+  let b = Dyngraph.add_node g ~birth:2 in
+  check_bool "newest is b" true (Dyngraph.newest_alive g = Some b);
+  Dyngraph.kill g b;
+  check_bool "falls back to a" true (Dyngraph.newest_alive g = Some a);
+  let c = Dyngraph.add_node g ~birth:3 in
+  check_bool "advances to c" true (Dyngraph.newest_alive g = Some c);
+  Dyngraph.kill g a;
+  check_bool "unaffected by old deaths" true (Dyngraph.newest_alive g = Some c)
+
+(* Exercise the non-dense id path of Snapshot.index_of_id: killing
+   interior nodes leaves id gaps, forcing the binary search. *)
+let test_snapshot_index_mapping_with_gaps () =
+  let g = fresh ~seed:37 ~d:2 ~regenerate:true () in
+  let ids = Array.init 20 (fun i -> Dyngraph.add_node g ~birth:(i + 1)) in
+  Array.iteri (fun i id -> if i mod 3 = 1 then Dyngraph.kill g id) ids;
+  let s = Dyngraph.snapshot g in
+  Array.iteri
+    (fun i id ->
+      match Snapshot.index_of_id s id with
+      | Some k ->
+          check_bool "only alive ids resolve" true (i mod 3 <> 1);
+          check_int "roundtrip" id (Snapshot.id_of_index s k)
+      | None -> check_bool "dead ids resolve to None" true (i mod 3 = 1))
+    ids;
+  check_bool "unknown id" true (Snapshot.index_of_id s 10_000 = None)
+
 let qcheck_props =
   [
     QCheck.Test.make ~name:"dyngraph invariants under arbitrary churn" ~count:60
@@ -382,6 +494,10 @@ let suite =
     ("targeted birth skips dead", `Quick, test_add_node_with_dead_targets_skipped);
     ("in-degree", `Quick, test_in_degree);
     ("peek next id", `Quick, test_peek_next_id);
+    ("kill last alive position", `Quick, test_kill_last_alive_position);
+    ("slot recycling generations", `Quick, test_slot_recycling_generations);
+    ("newest alive", `Quick, test_newest_alive);
+    ("snapshot index mapping with gaps", `Quick, test_snapshot_index_mapping_with_gaps);
     ("snapshot of_edges", `Quick, test_snapshot_of_edges);
     ("snapshot bfs", `Quick, test_snapshot_bfs);
     ("snapshot bfs unreachable", `Quick, test_snapshot_bfs_unreachable);

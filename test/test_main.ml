@@ -19,4 +19,5 @@ let () =
       ("event-log", Test_event_log.suite);
       ("experiments", Test_experiments.suite);
       ("differential", Test_differential.suite);
+      ("byte-equality", Test_byte_equality.suite);
     ]
