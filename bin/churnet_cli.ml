@@ -5,6 +5,8 @@ module Registry = Churnet_experiments.Registry
 module Report = Churnet_experiments.Report
 module Scale = Churnet_experiments.Scale
 module Telemetry = Churnet_experiments.Telemetry
+module Checkpoint = Churnet_util.Checkpoint
+module Codec = Churnet_util.Codec
 
 let seed_arg =
   let doc = "PRNG seed (every run is deterministic given the seed)." in
@@ -63,6 +65,94 @@ let write_csvs dir (report : Report.t) =
       Printf.printf "wrote %s\n" path)
     report.tables
 
+(* --- checkpoint/resume ------------------------------------------------ *)
+
+let ckpt_arg =
+  let doc =
+    "Journal completed work units to $(docv) so a killed run can be \
+     resumed with $(b,--resume).  Starts a fresh journal, overwriting \
+     any existing file."
+  in
+  Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE" ~doc)
+
+let every_arg =
+  let doc = "Persist the checkpoint journal after every $(docv) completed work units." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the checkpoint journal at $(docv): cached work units \
+     are restored, the rest recomputed, and the output is byte-identical \
+     to an uninterrupted run.  The journal must come from the same \
+     binary, command, seed and scale.  Continues journaling to the same \
+     file unless $(b,--ckpt) overrides the path."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let crash_at_arg =
+  let doc =
+    "Fault injection: SIGKILL this process as the $(docv)-th freshly \
+     computed work unit completes.  Exercises the crash/resume \
+     guarantee; used by the fault harness."
+  in
+  Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"K" ~doc)
+
+let exe_digest () = Digest.to_hex (Digest.file Sys.executable_name)
+
+let arm_crash = function
+  | None -> ()
+  | Some k ->
+      if k < 1 then begin
+        Printf.eprintf "--crash-at must be >= 1\n";
+        exit 1
+      end;
+      Checkpoint.crash_after k (fun () -> Unix.kill (Unix.getpid ()) Sys.sigkill)
+
+(* The meta line ties a journal to (binary, command, seed, scale): its
+   payloads are Marshal data, only safe to decode in the exact context
+   that wrote them.  Crash flags are deliberately excluded — a resumed
+   run drops them. *)
+let journal_meta ~cmd ~seed ~scale =
+  Printf.sprintf "churnet exe=%s cmd=%s seed=%d scale=%s" (exe_digest ()) cmd seed
+    (Scale.to_string scale)
+
+let setup_journal ~ckpt ~resume ~every ~meta =
+  if every < 1 then begin
+    Printf.eprintf "--checkpoint-every must be >= 1\n";
+    exit 1
+  end;
+  Checkpoint.set_clock Telemetry.now;
+  match
+    match (resume, ckpt) with
+    | Some path, _ -> Some (Checkpoint.load ~path ~every ~meta)
+    | None, Some path -> Some (Checkpoint.create ~path ~every ~meta)
+    | None, None -> None
+  with
+  | None -> None
+  | Some j ->
+      Checkpoint.install j;
+      Some j
+  | exception Checkpoint.Mismatch msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | exception Codec.Error msg ->
+      Printf.eprintf "corrupt checkpoint: %s\n" msg;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "checkpoint error: %s\n" msg;
+      exit 1
+
+(* Checkpoint chatter goes to stderr: stdout must stay byte-identical to
+   an uncheckpointed run (that is the whole guarantee). *)
+let finish_journal = function
+  | None -> ()
+  | Some j ->
+      Checkpoint.finalize j;
+      let s = Checkpoint.stats j in
+      Printf.eprintf "checkpoint: %d units stored, %d restored, %d writes (%.3fs)\n%!"
+        s.Checkpoint.units_stored s.Checkpoint.units_restored s.Checkpoint.writes
+        s.Checkpoint.write_seconds
+
 let scale_arg =
   let doc = "Effort level: smoke, standard or full." in
   let parse s =
@@ -92,16 +182,20 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E1, F3).")
   in
-  let run id seed scale csv json domains =
+  let run id seed scale csv json domains ckpt resume every crash_at =
     apply_domains domains;
     match Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `churnet list`\n" id;
         exit 1
     | Some e ->
+        arm_crash crash_at;
+        let meta = journal_meta ~cmd:("run:" ^ e.id) ~seed ~scale in
+        let journal = setup_journal ~ckpt ~resume ~every ~meta in
         let report, telemetry =
           Telemetry.measure ~seed ~scale (fun () -> e.run ~seed ~scale)
         in
+        finish_journal journal;
         print_string (Report.render report);
         (match csv with Some dir -> write_csvs dir report | None -> ());
         (match json with
@@ -111,14 +205,16 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured report.")
-    Term.(const run $ id_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg)
+    Term.(
+      const run $ id_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg
+      $ ckpt_arg $ resume_arg $ every_arg $ crash_at_arg)
 
 let all_cmd =
   let group_arg =
     let doc = "Restrict to a group: table1, figures, extensions or theory." in
     Arg.(value & opt (some string) None & info [ "group" ] ~docv:"GROUP" ~doc)
   in
-  let run group seed scale csv json domains =
+  let run group seed scale csv json domains ckpt resume every crash_at =
     apply_domains domains;
     let entries =
       match group with
@@ -131,6 +227,11 @@ let all_cmd =
           exit 1
       | None -> Registry.all
     in
+    arm_crash crash_at;
+    let meta =
+      journal_meta ~cmd:("all:" ^ Option.value ~default:"all" group) ~seed ~scale
+    in
+    let journal = setup_journal ~ckpt ~resume ~every ~meta in
     let timed =
       List.map
         (fun (e : Registry.entry) ->
@@ -138,6 +239,7 @@ let all_cmd =
           Telemetry.measure ~seed ~scale (fun () -> e.run ~seed ~scale))
         entries
     in
+    finish_journal journal;
     let reports = List.map fst timed in
     List.iter (fun r -> print_string (Report.render r)) reports;
     (match csv with
@@ -151,7 +253,9 @@ let all_cmd =
     if not (List.for_all Report.all_hold reports) then exit 2
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment and print a roll-up summary.")
-    Term.(const run $ group_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg)
+    Term.(
+      const run $ group_arg $ seed_arg $ scale_arg $ csv_arg $ json_arg $ domains_arg
+      $ ckpt_arg $ resume_arg $ every_arg $ crash_at_arg)
 
 let demo_cmd =
   let run seed =
@@ -261,10 +365,116 @@ let flood_cmd =
     (Cmd.info "flood" ~doc:"Run one flooding experiment and print the round-by-round trace.")
     Term.(const run $ kind_arg $ n_arg $ d_arg $ seed_arg)
 
+(* State-level checkpointing demo: the scripted record/replay run of the
+   byte-equality suite (graph seed 4242, script seed 999, d = 3, 150
+   steps), checkpointed as a full state snapshot — step counter, script
+   PRNG, graph arena, event log — rather than a work-unit journal.  This
+   exercises every state codec end-to-end: a run killed at any step and
+   resumed must print the identical event stream and replay DOT. *)
+let record_replay_cmd =
+  let module Dyngraph = Churnet_graph.Dyngraph in
+  let module Event_log = Churnet_graph.Event_log in
+  let module Snapshot = Churnet_graph.Snapshot in
+  let module Prng = Churnet_util.Prng in
+  let steps = 150 in
+  (* State codecs are binary-portable (no Marshal), so unlike the
+     work-unit journal this meta carries no executable digest. *)
+  let meta = "churnet-record-replay graph-seed=4242 script-seed=999 d=3 steps=150" in
+  let save path ~step ~script g log =
+    Codec.write_file ~schema:Codec.schema path (fun w ->
+        Codec.string w meta;
+        Codec.varint w step;
+        Prng.encode w script;
+        Dyngraph.encode w g;
+        Codec.string w (Event_log.to_string log))
+  in
+  let load path =
+    let r = Codec.read_file ~schema:Codec.schema path in
+    let stored = Codec.read_string r in
+    if stored <> meta then begin
+      Printf.eprintf
+        "checkpoint %s is not a record-replay state\n  stored:  %s\n  current: %s\n"
+        path stored meta;
+      exit 1
+    end;
+    let step = Codec.read_varint r in
+    let script = Prng.decode r in
+    let g = Dyngraph.decode r in
+    let log_text = Codec.read_string r in
+    Codec.expect_end r;
+    match Event_log.of_string log_text with
+    | Ok log -> (step, script, g, log)
+    | Error e ->
+        Printf.eprintf "corrupt event log in checkpoint %s: %s\n" path e;
+        exit 1
+  in
+  let crash_at_step_arg =
+    let doc = "Fault injection: SIGKILL after completing (and checkpointing) step $(docv)." in
+    Arg.(value & opt (some int) None & info [ "crash-at-step" ] ~docv:"K" ~doc)
+  in
+  let run ckpt resume every crash_at_step =
+    if every < 1 then begin
+      Printf.eprintf "--checkpoint-every must be >= 1\n";
+      exit 1
+    end;
+    let ckpt = match ckpt with Some _ -> ckpt | None -> resume in
+    let step0, script, g, log =
+      match resume with
+      | Some path -> (
+          try load path with
+          | Codec.Error msg ->
+              Printf.eprintf "corrupt checkpoint %s: %s\n" path msg;
+              exit 1
+          | Sys_error msg ->
+              Printf.eprintf "checkpoint error: %s\n" msg;
+              exit 1)
+      | None ->
+          ( 0,
+            Prng.create 999,
+            Dyngraph.create ~rng:(Prng.create 4242) ~d:3 ~regenerate:true (),
+            Event_log.create () )
+    in
+    Event_log.attach log g;
+    for i = step0 + 1 to steps do
+      if Dyngraph.alive_count g > 3 && Prng.bernoulli script 0.4 then
+        Dyngraph.kill g (Dyngraph.random_alive g)
+      else ignore (Dyngraph.add_node g ~birth:i);
+      (match ckpt with
+      | Some path when i mod every = 0 || i = steps -> save path ~step:i ~script g log
+      | _ -> ());
+      match crash_at_step with
+      | Some k when i = k -> Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ()
+    done;
+    Event_log.detach log g;
+    let replayed = Event_log.replay log in
+    print_string (Event_log.to_string log);
+    print_string "-- replay --\n";
+    print_string (Snapshot.to_dot ~name:"replay" replayed)
+  in
+  Cmd.v
+    (Cmd.info "record-replay"
+       ~doc:
+         "Run the scripted record/replay churn sequence with full-state \
+          checkpointing (exercises the state codecs; output matches the \
+          byte-equality golden).")
+    Term.(const run $ ckpt_arg $ resume_arg $ every_arg $ crash_at_step_arg)
+
 let () =
   let doc =
     "Reproduction of `Expansion and Flooding in Dynamic Random Networks with Node \
      Churn' (Becchetti et al., ICDCS 2021)."
   in
   let info = Cmd.info "churnet" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; fingerprint_cmd; flood_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            demo_cmd;
+            fingerprint_cmd;
+            flood_cmd;
+            record_replay_cmd;
+          ]))

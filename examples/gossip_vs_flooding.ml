@@ -26,9 +26,11 @@ let () =
     curve_of_informed tr.Flood.informed_per_round tr.Flood.population_per_round
   in
   let gossip_curve strategy =
-    let m = Models.create ~rng:(Churnet_util.Prng.create 5) Models.PDGR ~n ~d in
+    let rng = Churnet_util.Prng.create 5 in
+    let grng = Churnet_util.Prng.split rng in
+    let m = Models.create ~rng Models.PDGR ~n ~d in
     Models.warm_up m;
-    let tr = Gossip.run ~strategy m in
+    let tr = Gossip.run ~rng:grng ~strategy m in
     ( curve_of_informed tr.Gossip.informed_per_round tr.Gossip.population_per_round,
       tr.Gossip.completion_round,
       tr.Gossip.messages_sent )

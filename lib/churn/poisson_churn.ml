@@ -42,3 +42,26 @@ let time t = t.time
 let round t = t.round
 let births t = t.births
 let deaths t = t.deaths
+
+module Codec = Churnet_util.Codec
+
+let encode w t =
+  Codec.f64 w t.lambda;
+  Codec.f64 w t.mu;
+  Prng.encode w t.rng;
+  Codec.f64 w t.time;
+  Codec.varint w t.round;
+  Codec.varint w t.births;
+  Codec.varint w t.deaths
+
+let decode r =
+  let lambda = Codec.read_f64 r in
+  let mu = Codec.read_f64 r in
+  let rng = Prng.decode r in
+  let time = Codec.read_f64 r in
+  let round = Codec.read_varint r in
+  let births = Codec.read_varint r in
+  let deaths = Codec.read_varint r in
+  if lambda <= 0. || mu <= 0. || round < 0 || births < 0 || deaths < 0 then
+    raise (Codec.Error "Poisson_churn.decode: inconsistent fields");
+  { lambda; mu; rng; time; round; births; deaths }

@@ -36,3 +36,9 @@ val round : t -> int
 
 val births : t -> int
 val deaths : t -> int
+
+val encode : Churnet_util.Codec.writer -> t -> unit
+(** Serialize rates, PRNG state, clock and event counters for
+    checkpoints. *)
+
+val decode : Churnet_util.Codec.reader -> t

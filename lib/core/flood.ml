@@ -104,47 +104,133 @@ let prune_dead graph informed scratch =
     informed;
   Intvec.iter (fun id -> Bitset.remove informed id) scratch
 
-let run_custom ?max_rounds ~graph ~step ~newest ~default_max_rounds () =
-  let max_rounds = Option.value ~default:default_max_rounds max_rounds in
+(* --- resumable cross-round state ------------------------------------ *)
+
+(* Everything flooding carries from one round to the next, factored out
+   of the run loops so it can be serialized mid-flood (checkpointing)
+   and so both the synchronous and discretized drivers share one shape.
+   [scratch] and [candidates] are per-round staging space: cleared
+   before every use, hence transient and recreated on decode. *)
+type state = {
+  informed : Bitset.t;
+  scratch : Intvec.t; (* transient *)
+  candidates : Intvec.t; (* transient; used by the discretized driver *)
+  mutable informed_log : int list; (* head = latest round *)
+  mutable population_log : int list;
+  mutable round : int;
+  max_rounds : int;
+  mutable completed : bool;
+  mutable completion_round : int option;
+  mutable extinct : bool;
+  mutable extinction_round : int option;
+}
+
+let state_round st = st.round
+let state_finished st = st.completed || st.extinct || st.round >= st.max_rounds
+
+let finish_state st =
+  finish ~completed:st.completed ~completion_round:st.completion_round
+    ~extinct:st.extinct ~extinction_round:st.extinction_round st.informed_log
+    st.population_log
+
+module Codec = Churnet_util.Codec
+
+let encode_state w st =
+  Bitset.encode w st.informed;
+  Codec.int_list w st.informed_log;
+  Codec.int_list w st.population_log;
+  Codec.varint w st.round;
+  Codec.varint w st.max_rounds;
+  Codec.bool w st.completed;
+  Codec.option (fun w r -> Codec.varint w r) w st.completion_round;
+  Codec.bool w st.extinct;
+  Codec.option (fun w r -> Codec.varint w r) w st.extinction_round
+
+let decode_state r =
+  let informed = Bitset.decode r in
+  let informed_log = Codec.read_int_list r in
+  let population_log = Codec.read_int_list r in
+  let round = Codec.read_varint r in
+  let max_rounds = Codec.read_varint r in
+  let completed = Codec.read_bool r in
+  let completion_round = Codec.read_option (fun r -> Codec.read_varint r) r in
+  let extinct = Codec.read_bool r in
+  let extinction_round = Codec.read_option (fun r -> Codec.read_varint r) r in
+  if
+    round < 0 || max_rounds < 0
+    || List.length informed_log <> round + 1
+    || List.length population_log <> round + 1
+    || (completed && completion_round = None)
+    || (extinct && extinction_round = None)
+  then raise (Codec.Error "Flood.decode_state: inconsistent fields");
+  {
+    informed;
+    scratch = Intvec.create ~capacity:256 ();
+    candidates = Intvec.create ~capacity:1024 ();
+    informed_log;
+    population_log;
+    round;
+    max_rounds;
+    completed;
+    completion_round;
+    extinct;
+    extinction_round;
+  }
+
+let make_state ~max_rounds ~source ~population =
+  let informed = Bitset.create (source + 64) in
+  Bitset.add informed source;
+  {
+    informed;
+    scratch = Intvec.create ~capacity:256 ();
+    candidates = Intvec.create ~capacity:1024 ();
+    informed_log = [ 1 ];
+    population_log = [ population ];
+    round = 0;
+    max_rounds;
+    completed = false;
+    completion_round = None;
+    extinct = false;
+    extinction_round = None;
+  }
+
+let sync_start ~max_rounds ~graph ~step ~newest =
   (* The source is the node joining the network at round t0. *)
   step ();
   let source = newest () in
-  let informed = Bitset.create (source + 64) in
-  Bitset.add informed source;
-  let scratch = Intvec.create ~capacity:256 () in
-  let informed_log = ref [ 1 ] in
-  let population_log = ref [ Dyngraph.alive_count graph ] in
-  let completed = ref false in
-  let completion_round = ref None in
-  let extinct = ref false in
-  let extinction_round = ref None in
-  let r = ref 0 in
-  while (not !completed) && (not !extinct) && !r < max_rounds do
-    incr r;
-    (* I_t = (I_{t-1} U boundary in G_{t-1}) /\ N_t *)
-    expand_informed graph informed scratch;
-    step ();
-    prune_dead graph informed scratch;
-    let alive = Dyngraph.alive_count graph in
-    let inf = Bitset.cardinal informed in
-    informed_log := inf :: !informed_log;
-    population_log := alive :: !population_log;
-    let newborn = newest () in
-    let uninformed = alive - inf in
-    if uninformed = 0 || (uninformed = 1 && not (bs_mem informed newborn)) then begin
-      completed := true;
-      completion_round := Some !r
-    end
-    else if inf = 0 then begin
-      (* Extinction: every informed node died before passing the message
-         on.  Nothing can revive the flood, so stop here instead of
-         spinning to [max_rounds]. *)
-      extinct := true;
-      extinction_round := Some !r
-    end
+  make_state ~max_rounds ~source ~population:(Dyngraph.alive_count graph)
+
+let sync_round ~graph ~step ~newest st =
+  st.round <- st.round + 1;
+  (* I_t = (I_{t-1} U boundary in G_{t-1}) /\ N_t *)
+  expand_informed graph st.informed st.scratch;
+  step ();
+  prune_dead graph st.informed st.scratch;
+  let alive = Dyngraph.alive_count graph in
+  let inf = Bitset.cardinal st.informed in
+  st.informed_log <- inf :: st.informed_log;
+  st.population_log <- alive :: st.population_log;
+  let newborn = newest () in
+  let uninformed = alive - inf in
+  if uninformed = 0 || (uninformed = 1 && not (bs_mem st.informed newborn)) then begin
+    st.completed <- true;
+    st.completion_round <- Some st.round
+  end
+  else if inf = 0 then begin
+    (* Extinction: every informed node died before passing the message
+       on.  Nothing can revive the flood, so stop here instead of
+       spinning to [max_rounds]. *)
+    st.extinct <- true;
+    st.extinction_round <- Some st.round
+  end
+
+let run_custom ?max_rounds ~graph ~step ~newest ~default_max_rounds () =
+  let max_rounds = Option.value ~default:default_max_rounds max_rounds in
+  let st = sync_start ~max_rounds ~graph ~step ~newest in
+  while not (state_finished st) do
+    sync_round ~graph ~step ~newest st
   done;
-  finish ~completed:!completed ~completion_round:!completion_round ~extinct:!extinct
-    ~extinction_round:!extinction_round !informed_log !population_log
+  finish_state st
 
 let run_streaming ?max_rounds model =
   let n = Streaming_model.n model in
@@ -161,15 +247,8 @@ let run_streaming ?max_rounds model =
    the same target at the end of the interval and both endpoints
    survived. *)
 
-let run_poisson_discretized ?max_rounds model =
-  let n = Poisson_model.n model in
-  let max_rounds =
-    Option.value
-      ~default:(int_of_float (8. *. log (float_of_int n)) + 60)
-      max_rounds
-  in
+let poisson_start ~max_rounds model =
   let graph = Poisson_model.graph model in
-  let d = Dyngraph.d graph in
   (* Flood from the next newborn: advance jumps until a birth occurs. *)
   let rec until_birth () =
     let before = Dyngraph.alive_count graph in
@@ -180,85 +259,90 @@ let run_poisson_discretized ?max_rounds model =
   let source =
     match Poisson_model.newest model with Some s -> s | None -> assert false
   in
-  let informed = Bitset.create (source + 64) in
-  Bitset.add informed source;
-  let scratch = Intvec.create ~capacity:256 () in
-  let candidates = Intvec.create ~capacity:1024 () in
-  let informed_log = ref [ 1 ] in
-  let population_log = ref [ Dyngraph.alive_count graph ] in
-  let completed = ref false in
-  let completion_round = ref None in
-  let extinct = ref false in
-  let extinction_round = ref None in
-  let r = ref 0 in
-  while (not !completed) && (not !extinct) && !r < max_rounds do
-    incr r;
-    (* Record the informed-to-uninformed edges present at time t. *)
-    Intvec.clear candidates;
-    let push_candidate ~owner ~slot ~other ~learner =
-      Intvec.push candidates owner;
-      Intvec.push candidates slot;
-      Intvec.push candidates other;
-      Intvec.push candidates learner
-    in
-    Bitset.iter
-      (fun u ->
-        if Dyngraph.is_alive graph u then begin
-          for i = 0 to d - 1 do
-            let w = Dyngraph.out_slot graph u i in
-            if w >= 0 && not (bs_mem informed w) then
-              push_candidate ~owner:u ~slot:i ~other:w ~learner:w
-          done;
-          Dyngraph.iter_in_neighbors graph u (fun v ->
-              if not (bs_mem informed v) then
-                for j = 0 to d - 1 do
-                  if Dyngraph.out_slot graph v j = u then
-                    push_candidate ~owner:v ~slot:j ~other:u ~learner:v
-                done)
-        end)
-      informed;
-    (* Advance the churn by one unit of time. *)
-    let birth_round_start = Poisson_model.round model in
-    Poisson_model.run_until_time model (Poisson_model.time model +. 1.0);
-    (* Deliver along candidates whose edge survived the whole interval. *)
-    let m = Intvec.length candidates / 4 in
-    for k = 0 to m - 1 do
-      let owner = Intvec.get candidates (4 * k) in
-      let slot = Intvec.get candidates ((4 * k) + 1) in
-      let other = Intvec.get candidates ((4 * k) + 2) in
-      let learner = Intvec.get candidates ((4 * k) + 3) in
-      if
-        Dyngraph.is_alive graph owner
-        && Dyngraph.is_alive graph other
-        && Dyngraph.out_slot graph owner slot = other
-      then bs_add informed learner
-    done;
-    prune_dead graph informed scratch;
-    let alive = Dyngraph.alive_count graph in
-    let inf = Bitset.cardinal informed in
-    informed_log := inf :: !informed_log;
-    population_log := alive :: !population_log;
-    (* Completion: everyone alive is informed, except possibly nodes born
-       during the interval just elapsed (Definition 4.3 cannot reach them
-       yet). *)
-    let all_covered = ref true in
-    Dyngraph.iter_alive graph (fun id ->
-        if (not (bs_mem informed id)) && Dyngraph.birth_of graph id <= birth_round_start
-        then all_covered := false);
-    if !all_covered && inf > 1 then begin
-      completed := true;
-      completion_round := Some !r
-    end
-    else if inf = 0 then begin
-      (* Extinction: flooding can die out entirely in PDG.  Once no
-         informed node is left the process is over — stop immediately and
-         record the round, rather than looping to [max_rounds]. *)
-      extinct := true;
-      extinction_round := Some !r
-    end
+  make_state ~max_rounds ~source ~population:(Dyngraph.alive_count graph)
+
+let poisson_round model st =
+  let graph = Poisson_model.graph model in
+  let d = Dyngraph.d graph in
+  let informed = st.informed in
+  let candidates = st.candidates in
+  st.round <- st.round + 1;
+  (* Record the informed-to-uninformed edges present at time t. *)
+  Intvec.clear candidates;
+  let push_candidate ~owner ~slot ~other ~learner =
+    Intvec.push candidates owner;
+    Intvec.push candidates slot;
+    Intvec.push candidates other;
+    Intvec.push candidates learner
+  in
+  Bitset.iter
+    (fun u ->
+      if Dyngraph.is_alive graph u then begin
+        for i = 0 to d - 1 do
+          let w = Dyngraph.out_slot graph u i in
+          if w >= 0 && not (bs_mem informed w) then
+            push_candidate ~owner:u ~slot:i ~other:w ~learner:w
+        done;
+        Dyngraph.iter_in_neighbors graph u (fun v ->
+            if not (bs_mem informed v) then
+              for j = 0 to d - 1 do
+                if Dyngraph.out_slot graph v j = u then
+                  push_candidate ~owner:v ~slot:j ~other:u ~learner:v
+              done)
+      end)
+    informed;
+  (* Advance the churn by one unit of time. *)
+  let birth_round_start = Poisson_model.round model in
+  Poisson_model.run_until_time model (Poisson_model.time model +. 1.0);
+  (* Deliver along candidates whose edge survived the whole interval. *)
+  let m = Intvec.length candidates / 4 in
+  for k = 0 to m - 1 do
+    let owner = Intvec.get candidates (4 * k) in
+    let slot = Intvec.get candidates ((4 * k) + 1) in
+    let other = Intvec.get candidates ((4 * k) + 2) in
+    let learner = Intvec.get candidates ((4 * k) + 3) in
+    if
+      Dyngraph.is_alive graph owner
+      && Dyngraph.is_alive graph other
+      && Dyngraph.out_slot graph owner slot = other
+    then bs_add informed learner
   done;
-  finish ~completed:!completed ~completion_round:!completion_round ~extinct:!extinct
-    ~extinction_round:!extinction_round !informed_log !population_log
+  prune_dead graph informed st.scratch;
+  let alive = Dyngraph.alive_count graph in
+  let inf = Bitset.cardinal informed in
+  st.informed_log <- inf :: st.informed_log;
+  st.population_log <- alive :: st.population_log;
+  (* Completion: everyone alive is informed, except possibly nodes born
+     during the interval just elapsed (Definition 4.3 cannot reach them
+     yet). *)
+  let all_covered = ref true in
+  Dyngraph.iter_alive graph (fun id ->
+      if (not (bs_mem informed id)) && Dyngraph.birth_of graph id <= birth_round_start
+      then all_covered := false);
+  if !all_covered && inf > 1 then begin
+    st.completed <- true;
+    st.completion_round <- Some st.round
+  end
+  else if inf = 0 then begin
+    (* Extinction: flooding can die out entirely in PDG.  Once no
+       informed node is left the process is over — stop immediately and
+       record the round, rather than looping to [max_rounds]. *)
+    st.extinct <- true;
+    st.extinction_round <- Some st.round
+  end
+
+let run_poisson_discretized ?max_rounds model =
+  let n = Poisson_model.n model in
+  let max_rounds =
+    Option.value
+      ~default:(int_of_float (8. *. log (float_of_int n)) + 60)
+      max_rounds
+  in
+  let st = poisson_start ~max_rounds model in
+  while not (state_finished st) do
+    poisson_round model st
+  done;
+  finish_state st
 
 module Async = struct
   type result = {

@@ -41,6 +41,55 @@ val expand_informed :
     informed bitset must grow.  Callers must keep [informed] pruned to
     alive ids (see {!run_custom}).  Exposed for the kernel benchmarks. *)
 
+(** {1 Resumable flooding state}
+
+    Both round-based drivers (synchronous and discretized) carry the same
+    cross-round state, factored into an explicit value so an in-flight
+    flood can be checkpointed between rounds and resumed elsewhere.  The
+    per-round staging vectors are transient: {!decode_state} recreates
+    them empty, which is indistinguishable because every round clears
+    them before use. *)
+
+type state
+
+val state_round : state -> int
+(** Rounds executed so far. *)
+
+val state_finished : state -> bool
+(** The flood has completed, gone extinct, or hit its round bound. *)
+
+val encode_state : Churnet_util.Codec.writer -> state -> unit
+val decode_state : Churnet_util.Codec.reader -> state
+
+val sync_start :
+  max_rounds:int ->
+  graph:Churnet_graph.Dyngraph.t ->
+  step:(unit -> unit) ->
+  newest:(unit -> Churnet_graph.Dyngraph.node_id) ->
+  state
+(** Advance one churn round, inform the newborn source, and return the
+    initial state (round 0 logged). *)
+
+val sync_round :
+  graph:Churnet_graph.Dyngraph.t ->
+  step:(unit -> unit) ->
+  newest:(unit -> Churnet_graph.Dyngraph.node_id) ->
+  state ->
+  unit
+(** One synchronous flooding round (Definition 3.3): expand, churn,
+    prune, log, then test completion/extinction. *)
+
+val poisson_start : max_rounds:int -> Poisson_model.t -> state
+(** Advance churn until a birth occurs, inform that newborn, and return
+    the initial state. *)
+
+val poisson_round : Poisson_model.t -> state -> unit
+(** One discretized flooding round (Definition 4.3) over a unit interval
+    of model time. *)
+
+val finish_state : state -> trace
+(** Assemble the final trace from a finished (or abandoned) state. *)
+
 val run_custom :
   ?max_rounds:int ->
   graph:Churnet_graph.Dyngraph.t ->

@@ -16,6 +16,8 @@ type trace = {
   completion_round : int option;
   peak_coverage : float;
   messages_sent : int;
+  extinct : bool;
+  extinction_round : int option;
 }
 
 (* Plant a source: advance churn until a birth happens, return the id. *)
@@ -45,13 +47,12 @@ let newest_of model =
   | Models.Poisson m -> (
       match Poisson_model.newest m with Some s -> s | None -> -1)
 
-let run ?max_rounds ~strategy model =
+let run ?max_rounds ~rng ~strategy model =
   let n = Models.n model in
   let max_rounds =
     Option.value ~default:(int_of_float (30. *. log (float_of_int n)) + 60) max_rounds
   in
   let graph = Models.graph model in
-  let rng = Prng.create 0x605 in
   let source = plant_source model in
   let informed : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
   Hashtbl.replace informed source ();
@@ -60,13 +61,15 @@ let run ?max_rounds ~strategy model =
   let messages = ref 0 in
   let completed = ref false in
   let completion_round = ref None in
+  let extinct = ref false in
+  let extinction_round = ref None in
   let r = ref 0 in
   let random_neighbor id =
     match Dyngraph.neighbors graph id with
     | [] -> None
     | neigh -> Some (Prng.choose rng (Array.of_list neigh))
   in
-  while (not !completed) && !r < max_rounds do
+  while (not !completed) && (not !extinct) && !r < max_rounds do
     incr r;
     (* Exchanges happen on the snapshot at the start of the round. *)
     let newly = ref [] in
@@ -113,8 +116,15 @@ let run ?max_rounds ~strategy model =
     if uninformed = 0 || (uninformed = 1 && not (Hashtbl.mem informed newborn)) then begin
       completed := true;
       completion_round := Some !r
-    end;
-    if inf = 0 then r := max_rounds (* extinction *)
+    end
+    else if inf = 0 then begin
+      (* Extinction: every informed node died before passing the rumor
+         on.  Stop at this round — clobbering the loop counter (the old
+         [r := max_rounds] hack) both misreported [rounds] and silently
+         conflated extinction with hitting the round bound. *)
+      extinct := true;
+      extinction_round := Some !r
+    end
   done;
   let informed_per_round = Array.of_list (List.rev !informed_log) in
   let population_per_round = Array.of_list (List.rev !population_log) in
@@ -135,4 +145,6 @@ let run ?max_rounds ~strategy model =
     completion_round = !completion_round;
     peak_coverage;
     messages_sent = !messages;
+    extinct = !extinct;
+    extinction_round = !extinction_round;
   }

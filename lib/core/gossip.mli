@@ -28,9 +28,18 @@ type trace = {
   completion_round : int option;
   peak_coverage : float;
   messages_sent : int;  (** total point-to-point contacts *)
+  extinct : bool;
+      (** every informed node died before passing the rumor on; the trace
+          ends at that round instead of running to the round bound *)
+  extinction_round : int option;
 }
 
-val run : ?max_rounds:int -> strategy:strategy -> Models.t -> trace
+val run :
+  ?max_rounds:int -> rng:Churnet_util.Prng.t -> strategy:strategy -> Models.t -> trace
 (** Run gossip from the next newborn on a warmed-up model.  One gossip
     round = one churn round (streaming) or one unit of continuous time
-    (Poisson), matching the paper's time normalization. *)
+    (Poisson), matching the paper's time normalization.  [rng] drives the
+    random neighbor choices: gossip, unlike flooding, is a randomized
+    protocol, and its generator must come from the caller so trials draw
+    distinct randomness (the old implementation hard-coded one seed,
+    making every trial's gossip choices identical). *)

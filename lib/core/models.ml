@@ -54,3 +54,19 @@ let flood ?max_rounds t =
   match t with
   | Streaming m -> Flood.run_streaming ?max_rounds m
   | Poisson m -> Flood.run_poisson_discretized ?max_rounds m
+
+module Codec = Churnet_util.Codec
+
+let encode w = function
+  | Streaming m ->
+      Codec.u8 w 0;
+      Streaming_model.encode w m
+  | Poisson m ->
+      Codec.u8 w 1;
+      Poisson_model.encode w m
+
+let decode r =
+  match Codec.read_u8 r with
+  | 0 -> Streaming (Streaming_model.decode r)
+  | 1 -> Poisson (Poisson_model.decode r)
+  | b -> raise (Codec.Error (Printf.sprintf "Models.decode: bad model tag %d" b))

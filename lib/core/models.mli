@@ -36,3 +36,8 @@ val advance : t -> int -> unit
 val flood : ?max_rounds:int -> t -> Flood.trace
 (** Flooding in the model's native semantics: synchronous (Def 3.3) for
     streaming, discretized (Def 4.3) for Poisson. *)
+
+val encode : Churnet_util.Codec.writer -> t -> unit
+(** Serialize a model (either semantics) for checkpoints. *)
+
+val decode : Churnet_util.Codec.reader -> t

@@ -15,11 +15,96 @@ type result = {
    age a+1 .. a+n-1 (n-1 of them); a request target of current age > n-1+?
    ... any target of current age >= n is already dead at t0. *)
 
-let run ?rng ~n ~d () =
+(* --- resumable phase state ------------------------------------------ *)
+
+(* The streaming onion-skin process consumes ALL of its randomness at
+   materialization ({!start} samples every request up front, deferred
+   decisions made concrete); the phase loop is purely deterministic.
+   The state below is therefore self-contained: serialize it between
+   phases and the resumed process replays identically with no PRNG to
+   restore.  [prev_set] is per-phase staging (cleared before use) and is
+   recreated empty on decode. *)
+type state = {
+  n : int;
+  d : int;
+  young_requests : int array array;
+  y_phase : int array; (* 0 = untouched, k > 0 = joined at phase k *)
+  o_phase : int array;
+  mutable y_layers : int list; (* head = latest phase *)
+  mutable o_layers : int list;
+  mutable prev_o_layer : int list;
+  mutable total_y : int;
+  mutable total_o : int;
+  mutable phase : int;
+  mutable running : bool;
+  prev_set : Churnet_util.Bitset.t; (* transient *)
+}
+
+let state_phase st = st.phase
+let state_finished st = not st.running
+
+module Codec = Churnet_util.Codec
+
+let encode_state w st =
+  Codec.varint w st.n;
+  Codec.varint w st.d;
+  Codec.array (fun w a -> Codec.int_array w a) w st.young_requests;
+  Codec.int_array w st.y_phase;
+  Codec.int_array w st.o_phase;
+  Codec.int_list w st.y_layers;
+  Codec.int_list w st.o_layers;
+  Codec.int_list w st.prev_o_layer;
+  Codec.varint w st.total_y;
+  Codec.varint w st.total_o;
+  Codec.varint w st.phase;
+  Codec.bool w st.running
+
+let decode_state r =
+  let n = Codec.read_varint r in
+  let d = Codec.read_varint r in
+  let young_requests = Codec.read_array (fun r -> Codec.read_int_array r) r in
+  let y_phase = Codec.read_int_array r in
+  let o_phase = Codec.read_int_array r in
+  let y_layers = Codec.read_int_list r in
+  let o_layers = Codec.read_int_list r in
+  let prev_o_layer = Codec.read_int_list r in
+  let total_y = Codec.read_varint r in
+  let total_o = Codec.read_varint r in
+  let phase = Codec.read_varint r in
+  let running = Codec.read_bool r in
+  if
+    n < 16 || d < 2
+    || Array.length young_requests <> n / 2
+    || Array.length y_phase <> n + 1
+    || Array.length o_phase <> n + 1
+    || phase < 0 || total_y < 0 || total_o < 0
+    || List.length y_layers <> phase
+    || List.length o_layers <> phase + 1
+  then raise (Codec.Error "Onion.decode_state: inconsistent fields");
+  {
+    n;
+    d;
+    young_requests;
+    y_phase;
+    o_phase;
+    y_layers;
+    o_layers;
+    prev_o_layer;
+    total_y;
+    total_o;
+    phase;
+    running;
+    prev_set = Churnet_util.Bitset.create (n + 1);
+  }
+
+let target_of ~n ~d = max 1 (n / d)
+let logn_of n = int_of_float (Float.ceil (log (float_of_int n)))
+
+let start ?rng ~n ~d () =
   if d < 2 || d mod 2 <> 0 then invalid_arg "Onion.run: d must be even and >= 2";
   if n < 16 then invalid_arg "Onion.run: n too small";
   let rng = match rng with Some r -> r | None -> Prng.create 0x0910 in
-  let logn = int_of_float (Float.ceil (log (float_of_int n))) in
+  let logn = logn_of n in
   let half = n / 2 in
   let is_young a = a >= 1 && a < half in
   let is_old a = a >= half && a <= n - logn in
@@ -40,7 +125,6 @@ let run ?rng ~n ~d () =
   let y_phase = Array.make (n + 1) 0 in
   let o_phase = Array.make (n + 1) 0 in
   (* Phase 0: source links to old nodes. *)
-  let o_layers = ref [] and y_layers = ref [] in
   let o0 = ref [] in
   Array.iter
     (fun t -> if t >= 0 && is_old t && o_phase.(t) = 0 then begin
@@ -48,63 +132,79 @@ let run ?rng ~n ~d () =
          o0 := t :: !o0
        end)
     source_requests;
-  o_layers := [ List.length !o0 ];
-  let prev_o_layer = ref !o0 in
-  let total_y = ref 0 and total_o = ref (List.length !o0) in
-  let target = max 1 (n / d) in
-  let phase = ref 0 in
-  (* Reused across phases: membership of the previous old layer. *)
-  let prev_set = Churnet_util.Bitset.create (n + 1) in
-  let continue = ref (List.length !o0 > 0) in
-  while !continue do
-    incr phase;
-    let k = !phase in
-    (* Step 1: young nodes not yet informed whose type-B request
-       (indices d/2 .. d-1) hits the previous old layer. *)
-    Churnet_util.Bitset.clear prev_set;
-    List.iter (fun a -> Churnet_util.Bitset.add prev_set a) !prev_o_layer;
-    let new_young = ref [] in
-    for a = 1 to half - 1 do
-      if is_young a && y_phase.(a) = 0 then begin
-        let hit = ref false in
-        for i = d / 2 to d - 1 do
-          let t = young_requests.(a).(i) in
-          if t >= 0 && Churnet_util.Bitset.mem prev_set t then hit := true
-        done;
-        if !hit then begin
-          y_phase.(a) <- k;
-          new_young := a :: !new_young
-        end
+  {
+    n;
+    d;
+    young_requests;
+    y_phase;
+    o_phase;
+    y_layers = [];
+    o_layers = [ List.length !o0 ];
+    prev_o_layer = !o0;
+    total_y = 0;
+    total_o = List.length !o0;
+    phase = 0;
+    running = List.length !o0 > 0;
+    prev_set = Churnet_util.Bitset.create (n + 1);
+  }
+
+let phase_step st =
+  let n = st.n and d = st.d in
+  let logn = logn_of n in
+  let half = n / 2 in
+  let is_young a = a >= 1 && a < half in
+  let is_old a = a >= half && a <= n - logn in
+  let target = target_of ~n ~d in
+  st.phase <- st.phase + 1;
+  let k = st.phase in
+  (* Step 1: young nodes not yet informed whose type-B request
+     (indices d/2 .. d-1) hits the previous old layer. *)
+  Churnet_util.Bitset.clear st.prev_set;
+  List.iter (fun a -> Churnet_util.Bitset.add st.prev_set a) st.prev_o_layer;
+  let new_young = ref [] in
+  for a = 1 to half - 1 do
+    if is_young a && st.y_phase.(a) = 0 then begin
+      let hit = ref false in
+      for i = d / 2 to d - 1 do
+        let t = st.young_requests.(a).(i) in
+        if t >= 0 && Churnet_util.Bitset.mem st.prev_set t then hit := true
+      done;
+      if !hit then begin
+        st.y_phase.(a) <- k;
+        new_young := a :: !new_young
       end
-    done;
-    let ny = List.length !new_young in
-    y_layers := ny :: !y_layers;
-    total_y := !total_y + ny;
-    (* Step 2: old nodes hit by a type-A request (indices 0 .. d/2-1)
-       of the newly informed young nodes. *)
-    let new_old = ref [] in
-    List.iter
-      (fun a ->
-        for i = 0 to (d / 2) - 1 do
-          let t = young_requests.(a).(i) in
-          if t >= 0 && is_old t && o_phase.(t) = 0 then begin
-            o_phase.(t) <- k;
-            new_old := t :: !new_old
-          end
-        done)
-      !new_young;
-    let no = List.length !new_old in
-    o_layers := no :: !o_layers;
-    total_o := !total_o + no;
-    prev_o_layer := !new_old;
-    (* Stop when layers die out, the target is met, or we are clearly in
-       the saturation regime. *)
-    if ny = 0 || no = 0 then continue := false;
-    if !total_y >= target && !total_o >= target then continue := false;
-    if !phase > 4 * logn + 8 then continue := false
+    end
   done;
-  let o_layer_sizes = Array.of_list (List.rev !o_layers) in
-  let y_layer_sizes = Array.of_list (List.rev !y_layers) in
+  let ny = List.length !new_young in
+  st.y_layers <- ny :: st.y_layers;
+  st.total_y <- st.total_y + ny;
+  (* Step 2: old nodes hit by a type-A request (indices 0 .. d/2-1)
+     of the newly informed young nodes. *)
+  let new_old = ref [] in
+  List.iter
+    (fun a ->
+      for i = 0 to (d / 2) - 1 do
+        let t = st.young_requests.(a).(i) in
+        if t >= 0 && is_old t && st.o_phase.(t) = 0 then begin
+          st.o_phase.(t) <- k;
+          new_old := t :: !new_old
+        end
+      done)
+    !new_young;
+  let no = List.length !new_old in
+  st.o_layers <- no :: st.o_layers;
+  st.total_o <- st.total_o + no;
+  st.prev_o_layer <- !new_old;
+  (* Stop when layers die out, the target is met, or we are clearly in
+     the saturation regime. *)
+  if ny = 0 || no = 0 then st.running <- false;
+  if st.total_y >= target && st.total_o >= target then st.running <- false;
+  if st.phase > (4 * logn) + 8 then st.running <- false
+
+let finish_state st =
+  let target = target_of ~n:st.n ~d:st.d in
+  let o_layer_sizes = Array.of_list (List.rev st.o_layers) in
+  let y_layer_sizes = Array.of_list (List.rev st.y_layers) in
   let growth_factors =
     (* Interleave o/y layers in temporal order: O_0, Y_1, O_1, Y_2, ... *)
     let temporal = ref [] in
@@ -124,14 +224,21 @@ let run ?rng ~n ~d () =
           if temporal.(i) > 0. then temporal.(i + 1) /. temporal.(i) else nan)
   in
   {
-    phases = !phase;
+    phases = st.phase;
     y_layer_sizes;
     o_layer_sizes;
-    total_young = !total_y;
-    total_old = !total_o;
-    reached_target = !total_y >= target && !total_o >= target;
+    total_young = st.total_y;
+    total_old = st.total_o;
+    reached_target = st.total_y >= target && st.total_o >= target;
     growth_factors;
   }
+
+let run ?rng ~n ~d () =
+  let st = start ?rng ~n ~d () in
+  while not (state_finished st) do
+    phase_step st
+  done;
+  finish_state st
 
 let success_probability ?rng ~n ~d ~trials () =
   let rng = match rng with Some r -> r | None -> Prng.create 0x0911 in

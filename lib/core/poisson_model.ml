@@ -78,3 +78,46 @@ let warm_up t = run_rounds t (12 * t.n)
 let newest t = Dyngraph.newest_alive t.graph
 
 let snapshot t = Dyngraph.snapshot t.graph
+
+module Codec = Churnet_util.Codec
+
+let encode w t =
+  Codec.varint w t.n;
+  Codec.varint w t.d;
+  Dyngraph.encode w t.graph;
+  Poisson_churn.encode w t.churn;
+  Prng.encode w t.rng;
+  (* The lazily pre-drawn jump is state: it was already taken from the
+     churn PRNG, so dropping it would shift every subsequent draw. *)
+  Codec.option
+    (fun w (decision, dt) ->
+      Codec.u8 w (match decision with Poisson_churn.Birth -> 0 | Poisson_churn.Death -> 1);
+      Codec.f64 w dt)
+    w t.pending;
+  Codec.f64 w t.time
+
+let decode r =
+  let n = Codec.read_varint r in
+  let d = Codec.read_varint r in
+  let graph = Dyngraph.decode r in
+  let churn = Poisson_churn.decode r in
+  let rng = Prng.decode r in
+  let pending =
+    Codec.read_option
+      (fun r ->
+        let decision =
+          match Codec.read_u8 r with
+          | 0 -> Poisson_churn.Birth
+          | 1 -> Poisson_churn.Death
+          | b ->
+              raise
+                (Codec.Error
+                   (Printf.sprintf "Poisson_model.decode: bad decision tag %d" b))
+        in
+        let dt = Codec.read_f64 r in
+        (decision, dt))
+      r
+  in
+  let time = Codec.read_f64 r in
+  if n < 2 || d < 1 then raise (Codec.Error "Poisson_model.decode: inconsistent fields");
+  { n; d; graph; churn; rng; pending; time }

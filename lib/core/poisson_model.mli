@@ -54,3 +54,9 @@ val newest : t -> Churnet_graph.Dyngraph.node_id option
 (** The most recently born alive node, if any. *)
 
 val snapshot : t -> Churnet_graph.Snapshot.t
+
+val encode : Churnet_util.Codec.writer -> t -> unit
+(** Serialize the model for checkpoints, including the lazily pre-drawn
+    pending jump (already taken from the churn PRNG, hence state). *)
+
+val decode : Churnet_util.Codec.reader -> t

@@ -40,3 +40,8 @@ val age_of : t -> Churnet_graph.Dyngraph.node_id -> int
     that the newborn of the current round has age 0). *)
 
 val snapshot : t -> Churnet_graph.Snapshot.t
+
+val encode : Churnet_util.Codec.writer -> t -> unit
+(** Serialize the model (graph arena included) for checkpoints. *)
+
+val decode : Churnet_util.Codec.reader -> t

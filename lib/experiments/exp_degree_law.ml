@@ -24,27 +24,36 @@ let f14 ~seed ~scale =
   Streaming_model.warm_up m;
   (* Mean in-degree per age decile, against d * a / n. *)
   let buckets = 10 in
-  let indeg_acc = Array.init buckets (fun _ -> Stats.Acc.create ()) in
   (* Distribution of in-degrees in the oldest decile, against Poisson. *)
   let max_k = 4 * d in
-  let old_hist = Array.make (max_k + 1) 0 in
-  for _ = 1 to snapshots do
-    let g = Streaming_model.graph m in
-    Dyngraph.iter_alive g (fun id ->
-        let age = Streaming_model.age_of m id in
-        let b = min (buckets - 1) (age * buckets / n) in
-        let indeg = Dyngraph.in_degree g id in
-        Stats.Acc.add_int indeg_acc.(b) indeg;
-        if b = buckets - 1 then old_hist.(min max_k indeg) <- old_hist.(min max_k indeg) + 1);
-    Streaming_model.run m (n / 2)
-  done;
+  (* The whole sweep is one checkpointable work unit: its result is the
+     plain data (per-bucket means, old-decile histogram) the report is
+     rendered from, so a resumed run skips the simulation entirely. *)
+  let indeg_means, old_hist =
+    (Churnet_util.Parallel.map
+       (fun () ->
+         let indeg_acc = Array.init buckets (fun _ -> Stats.Acc.create ()) in
+         let old_hist = Array.make (max_k + 1) 0 in
+         for _ = 1 to snapshots do
+           let g = Streaming_model.graph m in
+           Dyngraph.iter_alive g (fun id ->
+               let age = Streaming_model.age_of m id in
+               let b = min (buckets - 1) (age * buckets / n) in
+               let indeg = Dyngraph.in_degree g id in
+               Stats.Acc.add_int indeg_acc.(b) indeg;
+               if b = buckets - 1 then
+                 old_hist.(min max_k indeg) <- old_hist.(min max_k indeg) + 1);
+           Streaming_model.run m (n / 2)
+         done;
+         (Array.map Stats.Acc.mean indeg_acc, old_hist))
+       [| () |]).(0)
+  in
   let table = Table.create [ "age bucket"; "mean in-degree"; "predicted d*a/n" ] in
   let worst_ratio = ref 1. in
   Array.iteri
-    (fun b acc ->
+    (fun b measured ->
       let mid_age = (float_of_int b +. 0.5) /. float_of_int buckets in
       let predicted = float_of_int d *. mid_age in
-      let measured = Stats.Acc.mean acc in
       if predicted > 0.3 then begin
         let r = measured /. predicted in
         if Float.abs (log r) > Float.abs (log !worst_ratio) then worst_ratio := r
@@ -57,7 +66,7 @@ let f14 ~seed ~scale =
           Table.fmt_float ~digits:3 measured;
           Table.fmt_float ~digits:3 predicted;
         ])
-    indeg_acc;
+    indeg_means;
   (* Distribution check in the oldest decile: age ~ 0.95 n so the law is
      Poisson(0.95 d). *)
   let lambda = 0.95 *. float_of_int d in

@@ -7,14 +7,23 @@ let f8 ~seed ~scale =
   let n = Scale.pick scale ~smoke:300 ~standard:800 ~full:2000 in
   let snapshots = Scale.pick scale ~smoke:8 ~standard:30 ~full:80 in
   let buckets = 4 in
-  let sdgr =
-    Edge_prob.measure_streaming ~rng:(Churnet_util.Prng.create seed) ~n ~d:6
-      ~regenerate:true ~snapshots ~buckets ()
+  (* The two measurements are independent (each owns its PRNG), so they
+     are a two-unit parallel fan-out — and thereby two checkpointable
+     work units for crash/resume. *)
+  let measurements =
+    Churnet_util.Parallel.map
+      (fun which ->
+        match which with
+        | `Sdgr ->
+            Edge_prob.measure_streaming ~rng:(Churnet_util.Prng.create seed) ~n ~d:6
+              ~regenerate:true ~snapshots ~buckets ()
+        | `Pdgr ->
+            Edge_prob.measure_poisson ~rng:(Churnet_util.Prng.create (seed + 1)) ~n
+              ~d:6 ~regenerate:true ~snapshots:(max 3 (snapshots / 4)) ~buckets ())
+      [| `Sdgr; `Pdgr |]
   in
-  let pdgr =
-    Edge_prob.measure_poisson ~rng:(Churnet_util.Prng.create (seed + 1)) ~n ~d:6
-      ~regenerate:true ~snapshots:(max 3 (snapshots / 4)) ~buckets ()
-  in
+  let sdgr = measurements.(0) in
+  let pdgr = measurements.(1) in
   let table_of name (bs : Edge_prob.bucket array) =
     let t =
       Table.create

@@ -105,9 +105,13 @@ let x2 ~seed ~scale =
           let completed = ref 0 in
           let traces =
             Churnet_util.Parallel.replicate ~rng ~trials (fun rng ->
+                (* Separate streams for the model and the protocol, split
+                   before the model consumes anything, so each trial's
+                   gossip choices are independent of its churn draws. *)
+                let grng = Prng.split rng in
                 let m = Models.create ~rng kind ~n ~d in
                 Models.warm_up m;
-                Gossip.run ~strategy m)
+                Gossip.run ~rng:grng ~strategy m)
           in
           Array.iter
             (fun (tr : Gossip.trace) ->

@@ -1,4 +1,12 @@
 module Json = Churnet_util.Json
+module Checkpoint = Churnet_util.Checkpoint
+
+type ckpt = {
+  units_stored : int;
+  units_restored : int;
+  writes : int;
+  write_seconds : float;
+}
 
 type t = {
   wall_seconds : float;
@@ -10,7 +18,33 @@ type t = {
   domains : int;
   seed : int;
   scale : Scale.t;
+  checkpoint : ckpt option;
 }
+
+(* Telemetry is the one library module allowed to read the wall clock
+   (see churnet-lint's no-wallclock rule); everything else — including
+   the CLI — borrows this accessor. *)
+let now () = Unix.gettimeofday ()
+
+let ckpt_delta (s0 : Checkpoint.stats option) (s1 : Checkpoint.stats option) =
+  match (s0, s1) with
+  | Some a, Some b ->
+      Some
+        {
+          units_stored = b.Checkpoint.units_stored - a.Checkpoint.units_stored;
+          units_restored = b.Checkpoint.units_restored - a.Checkpoint.units_restored;
+          writes = b.Checkpoint.writes - a.Checkpoint.writes;
+          write_seconds = b.Checkpoint.write_seconds -. a.Checkpoint.write_seconds;
+        }
+  | None, Some b ->
+      Some
+        {
+          units_stored = b.Checkpoint.units_stored;
+          units_restored = b.Checkpoint.units_restored;
+          writes = b.Checkpoint.writes;
+          write_seconds = b.Checkpoint.write_seconds;
+        }
+  | _, None -> None
 
 let measure ~seed ~scale ?domains f =
   let domains =
@@ -18,11 +52,13 @@ let measure ~seed ~scale ?domains f =
     | Some d -> d
     | None -> Churnet_util.Parallel.domains_from_env ()
   in
+  let c0 = Checkpoint.active_stats () in
   let g0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   let result = f () in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let wall_seconds = now () -. t0 in
   let g1 = Gc.quick_stat () in
+  let c1 = Checkpoint.active_stats () in
   ( result,
     {
       wall_seconds;
@@ -34,18 +70,29 @@ let measure ~seed ~scale ?domains f =
       domains;
       seed;
       scale;
+      checkpoint = ckpt_delta c0 c1;
     } )
+
+let ckpt_to_json c =
+  Json.Obj
+    [
+      ("units_stored", Json.Int c.units_stored);
+      ("units_restored", Json.Int c.units_restored);
+      ("writes", Json.Int c.writes);
+      ("write_seconds", Json.of_finite c.write_seconds);
+    ]
 
 let to_json t =
   Json.Obj
-    [
-      ("wall_seconds", Json.of_finite t.wall_seconds);
-      ("minor_words", Json.of_finite t.minor_words);
-      ("promoted_words", Json.of_finite t.promoted_words);
-      ("major_words", Json.of_finite t.major_words);
-      ("minor_collections", Json.Int t.minor_collections);
-      ("major_collections", Json.Int t.major_collections);
-      ("domains", Json.Int t.domains);
-      ("seed", Json.Int t.seed);
-      ("scale", Json.String (Scale.to_string t.scale));
-    ]
+    ([
+       ("wall_seconds", Json.of_finite t.wall_seconds);
+       ("minor_words", Json.of_finite t.minor_words);
+       ("promoted_words", Json.of_finite t.promoted_words);
+       ("major_words", Json.of_finite t.major_words);
+       ("minor_collections", Json.Int t.minor_collections);
+       ("major_collections", Json.Int t.major_collections);
+       ("domains", Json.Int t.domains);
+       ("seed", Json.Int t.seed);
+       ("scale", Json.String (Scale.to_string t.scale));
+     ]
+    @ match t.checkpoint with None -> [] | Some c -> [ ("checkpoint", ckpt_to_json c) ])

@@ -4,6 +4,13 @@
     what turns a report into a point on the perf trajectory — the
     BENCH_*.json files diffable across commits. *)
 
+type ckpt = {
+  units_stored : int;  (** work units journaled during the run *)
+  units_restored : int;  (** units served from the journal (resume hits) *)
+  writes : int;  (** journal file writes *)
+  write_seconds : float;  (** wall-clock time spent writing the journal *)
+}
+
 type t = {
   wall_seconds : float;  (** elapsed wall-clock time *)
   minor_words : float;  (** [Gc.quick_stat] delta *)
@@ -14,7 +21,17 @@ type t = {
   domains : int;  (** worker domains the run was configured with *)
   seed : int;
   scale : Scale.t;
+  checkpoint : ckpt option;
+      (** checkpoint-journal activity during the run; [None] when no
+          journal was installed *)
 }
+
+val now : unit -> float
+(** The wall clock ([Unix.gettimeofday]).  Telemetry is the one library
+    module allowed to observe wall-clock time (churnet-lint's
+    no-wallclock rule); callers that need a clock — e.g. the CLI handing
+    one to [Checkpoint.set_clock] — must take this one rather than
+    reading the OS clock themselves. *)
 
 val measure :
   seed:int -> scale:Scale.t -> ?domains:int -> (unit -> 'a) -> 'a * t
@@ -22,8 +39,12 @@ val measure :
     with the wall-clock/GC telemetry of the call.  [?domains] defaults
     to [Churnet_util.Parallel.domains_from_env ()].  GC counters come
     from the calling domain's [Gc.quick_stat], so allocation performed
-    by worker domains is attributed approximately under parallelism. *)
+    by worker domains is attributed approximately under parallelism.
+    When a {!Churnet_util.Checkpoint} journal is installed the telemetry
+    also carries the journal-activity delta across the call. *)
 
 val to_json : t -> Churnet_util.Json.t
 (** Flat object: wall_seconds, minor/promoted/major words, collection
-    counts, domains, seed and scale (as a string). *)
+    counts, domains, seed and scale (as a string); plus a "checkpoint"
+    object (units stored/restored, writes, write_seconds) when a journal
+    was active. *)

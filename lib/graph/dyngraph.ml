@@ -664,3 +664,133 @@ let check_invariants t =
               (count_row ss id) (count_in s src))
         t.in_edges.(s));
   match !err with None -> Ok () | Some e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Codec = Churnet_util.Codec
+
+(* Everything observable is serialized verbatim: besides the obvious
+   topology, the free list's LIFO order decides which slot the next
+   birth recycles, the dense alive array's order is what random_alive
+   indexes into, and the id-window base shifts nothing observable but is
+   kept so a decode/encode cycle is byte-identical.  Deliberately NOT
+   serialized: the three hooks (observers re-attach after resume) and
+   the kill_srcs scratch buffer (rebuilt empty). *)
+let encode w t =
+  Codec.varint w t.d;
+  Codec.bool w t.regenerate;
+  Prng.encode w t.rng;
+  Codec.varint w t.cap;
+  Codec.varint w t.used;
+  Intvec.encode w t.free;
+  let prefix a = for s = 0 to t.used - 1 do Codec.varint w a.(s) done in
+  prefix t.id_of_slot;
+  prefix t.birth_of_slot;
+  prefix t.alive_pos;
+  prefix t.prev_slot;
+  prefix t.next_slot;
+  for i = 0 to (t.used * t.d) - 1 do
+    Codec.varint w t.out.(i)
+  done;
+  for s = 0 to t.used - 1 do
+    Intvec.encode w t.in_edges.(s)
+  done;
+  Codec.varint w t.oldest_slot;
+  Codec.varint w t.youngest_slot;
+  Codec.varint w t.base;
+  Codec.varint w (Array.length t.slot_of_id);
+  let window = max 0 (t.next_id - t.base) in
+  Codec.varint w window;
+  for i = 0 to window - 1 do
+    Codec.varint w t.slot_of_id.(i)
+  done;
+  Codec.varint w t.alive_len;
+  for i = 0 to t.alive_len - 1 do
+    Codec.varint w t.alive.(i)
+  done;
+  Codec.varint w t.next_id
+
+let decode r =
+  let fail msg = raise (Codec.Error ("Dyngraph.decode: " ^ msg)) in
+  let d = Codec.read_varint r in
+  if d <= 0 then fail "non-positive degree";
+  let regenerate = Codec.read_bool r in
+  let rng = Prng.decode r in
+  let cap = Codec.read_varint r in
+  let used = Codec.read_varint r in
+  if cap < 1 || used < 0 || used > cap then fail "bad arena bounds";
+  let free = Intvec.decode r in
+  let prefix fill =
+    let a = Array.make cap fill in
+    for s = 0 to used - 1 do
+      a.(s) <- Codec.read_varint r
+    done;
+    a
+  in
+  let id_of_slot = prefix (-1) in
+  let birth_of_slot = prefix 0 in
+  let alive_pos = prefix (-1) in
+  let prev_slot = prefix (-1) in
+  let next_slot = prefix (-1) in
+  let out = Array.make (cap * d) (-1) in
+  for i = 0 to (used * d) - 1 do
+    out.(i) <- Codec.read_varint r
+  done;
+  let in_edges =
+    Array.init cap (fun s ->
+        if s < used then Intvec.decode r else Intvec.create ~capacity:4 ())
+  in
+  let oldest_slot = Codec.read_varint r in
+  let youngest_slot = Codec.read_varint r in
+  let base = Codec.read_varint r in
+  let window_len = Codec.read_varint r in
+  let window = Codec.read_varint r in
+  if window_len < 1 || window < 0 || window > window_len then fail "bad id window";
+  let slot_of_id = Array.make window_len (-1) in
+  for i = 0 to window - 1 do
+    slot_of_id.(i) <- Codec.read_varint r
+  done;
+  let alive_len = Codec.read_varint r in
+  if alive_len < 0 || alive_len > used then fail "bad alive count";
+  let alive = Array.make (max 1024 alive_len) (-1) in
+  for i = 0 to alive_len - 1 do
+    alive.(i) <- Codec.read_varint r
+  done;
+  let next_id = Codec.read_varint r in
+  if next_id < base || next_id - base <> window then fail "id window out of sync";
+  let t =
+    {
+      d;
+      regenerate;
+      rng;
+      cap;
+      used;
+      free;
+      id_of_slot;
+      birth_of_slot;
+      out;
+      in_edges;
+      alive_pos;
+      prev_slot;
+      next_slot;
+      oldest_slot;
+      youngest_slot;
+      base;
+      slot_of_id;
+      alive;
+      alive_len;
+      next_id;
+      kill_srcs = Array.make 16 0;
+      edge_hook = None;
+      death_hook = None;
+      birth_hook = None;
+    }
+  in
+  (* The CRC catches corruption; this catches a structurally valid file
+     whose fields contradict each other (schema drift, hand editing). *)
+  (match check_invariants t with
+  | Ok () -> ()
+  | Error e -> fail ("invariant violation after decode: " ^ e));
+  t

@@ -146,3 +146,15 @@ val snapshot : t -> Snapshot.t
 val check_invariants : t -> (unit, string) result
 (** Internal-consistency audit used by the test-suite: slot/in-edge
     symmetry, alive-index integrity, degree bounds. *)
+
+val encode : Churnet_util.Codec.writer -> t -> unit
+(** Serialize the full arena for checkpoints: topology, PRNG state,
+    free-list order (decides slot recycling), dense-alive order (decides
+    {!random_alive} indexing) and the id window.  The three hooks and
+    internal scratch space are deliberately not state — observers
+    re-attach after {!decode}. *)
+
+val decode : Churnet_util.Codec.reader -> t
+(** Rebuild a graph that continues bit-identically to the encoded one.
+    Runs {!check_invariants} and raises [Churnet_util.Codec.Error] on
+    structurally inconsistent input. *)

@@ -58,3 +58,19 @@ let iter f t =
         if byte land (1 lsl o) <> 0 then f ((b lsl 3) lor o)
       done
   done
+
+(* Checkpoint support: capacity, cardinal and the raw words.  The words
+   array length is pinned to (capacity + 7) / 8 by construction, so the
+   decoder validates it and a decode/encode cycle is byte-identical. *)
+let encode w t =
+  Codec.varint w t.capacity;
+  Codec.varint w t.cardinal;
+  Codec.string w (Bytes.to_string t.words)
+
+let decode r =
+  let capacity = Codec.read_varint r in
+  let cardinal = Codec.read_varint r in
+  let s = Codec.read_string r in
+  if capacity < 0 || cardinal < 0 || String.length s <> (capacity + 7) / 8 then
+    raise (Codec.Error "Bitset.decode: inconsistent fields");
+  { words = Bytes.of_string s; capacity; cardinal }

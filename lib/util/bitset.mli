@@ -27,3 +27,8 @@ val iter : (int -> unit) -> t -> unit
 (** Ascending order.  [f] may remove the element it was just called on
     (each byte of the underlying store is snapshotted before its bits are
     visited); any other concurrent mutation is unspecified. *)
+
+val encode : Codec.writer -> t -> unit
+(** Serialize capacity, cardinal and the raw bit words for checkpoints. *)
+
+val decode : Codec.reader -> t

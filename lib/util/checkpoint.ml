@@ -1,0 +1,231 @@
+(* Work-unit checkpoint journal.
+
+   Experiments are arbitrary closures, so churnet does not snapshot
+   their continuations.  Instead it exploits the repo's determinism
+   guarantee: a run is a pure function of (seed, scale, command), and
+   its parallel fan-outs ({!Parallel.map} / [replicate]) enumerate work
+   units in a deterministic order that is independent of the domain
+   count.  The journal memoizes each completed unit's result under a
+   (site, index) key — [site] numbers the [Parallel] call sites in
+   execution order, [index] the unit within the call — and a resumed
+   run replays the same deterministic schedule, taking cache hits for
+   every unit the crashed run persisted and recomputing the rest.  The
+   final output is byte-identical either way.
+
+   Payloads are [Marshal]ed, which is only safe against the exact value
+   layout the writing executable used; the [meta] line (executable
+   digest + command identity, built by the CLI) is checked on [load] so
+   a checkpoint can never be decoded by a different binary or replayed
+   under a different command, seed or scale.  A unit whose result
+   cannot be marshaled (e.g. it contains a closure) is simply not
+   journaled: resume then recomputes it, which is slower but equally
+   deterministic.
+
+   Files go through {!Codec} framing (schema + length + CRC-32) and are
+   written atomically, so the journal on disk is always a valid prefix
+   of the run — exactly what a SIGKILL mid-run must guarantee. *)
+
+exception Mismatch of string
+
+type stats = {
+  mutable units_stored : int;
+  mutable units_restored : int;
+  mutable writes : int;
+  mutable write_seconds : float;
+}
+
+let stats_zero () =
+  { units_stored = 0; units_restored = 0; writes = 0; write_seconds = 0. }
+
+type t = {
+  path : string;
+  every : int;
+  meta : string;
+  lock : Mutex.t;
+  entries : ((int * int), string) Hashtbl.t; (* (site, index) -> payload *)
+  mutable sites : int;
+  mutable dirty : int; (* units stored since the last write *)
+  stats : stats;
+}
+
+(* The simulation libraries may not observe wall-clock time (see the
+   no-wallclock lint rule); write timing uses whatever clock the
+   harness injects — Telemetry's in the CLI, the zero clock in tests. *)
+let clock = ref (fun () -> 0.)
+let set_clock f = clock := f
+
+(* --- fault injection ------------------------------------------------ *)
+
+(* [crash_after k hook] arms the hook to fire as the k-th work unit
+   completes (checkpoint units or any other progress tick).  The CLI
+   arms a self-SIGKILL here to drive the crash/resume harness; the
+   counter is global and atomic because units complete on worker
+   domains. *)
+let crash_at = ref 0 (* 0 = disarmed *)
+let crash_hook = ref (fun () -> ())
+let completed = Atomic.make 0
+
+let crash_after k hook =
+  if k < 1 then invalid_arg "Checkpoint.crash_after: k must be >= 1";
+  (* Count from the arming point, so arming is meaningful even after
+     earlier ticks (the tests re-arm mid-process). *)
+  Atomic.set completed 0;
+  crash_at := k;
+  crash_hook := hook
+
+let crash_tick () =
+  let n = 1 + Atomic.fetch_and_add completed 1 in
+  if !crash_at > 0 && n = !crash_at then !crash_hook ()
+
+(* --- journal lifecycle ---------------------------------------------- *)
+
+let encode_payload t w =
+  Codec.string w t.meta;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] in
+  let keys =
+    List.sort
+      (fun (s1, i1) (s2, i2) ->
+        if s1 <> s2 then Int.compare s1 s2 else Int.compare i1 i2)
+      keys
+  in
+  Codec.varint w (List.length keys);
+  List.iter
+    (fun ((site, index) as k) ->
+      Codec.varint w site;
+      Codec.varint w index;
+      Codec.string w (Hashtbl.find t.entries k))
+    keys
+
+(* Callers hold [t.lock]. *)
+let write_locked t =
+  let t0 = !clock () in
+  Codec.write_file ~schema:Codec.schema t.path (encode_payload t);
+  t.stats.writes <- t.stats.writes + 1;
+  t.stats.write_seconds <- t.stats.write_seconds +. (!clock () -. t0);
+  t.dirty <- 0
+
+let create ~path ~every ~meta =
+  if every < 1 then invalid_arg "Checkpoint.create: every must be >= 1";
+  let t =
+    {
+      path;
+      every;
+      meta;
+      lock = Mutex.create ();
+      entries = Hashtbl.create 64;
+      sites = 0;
+      dirty = 0;
+      stats = stats_zero ();
+    }
+  in
+  (* Write the empty journal immediately: a crash before the first
+     flush must still leave a resumable file (one that simply caches
+     nothing). *)
+  write_locked t;
+  t
+
+let read_entries path =
+  let r = Codec.read_file ~schema:Codec.schema path in
+  let meta = Codec.read_string r in
+  let count = Codec.read_varint r in
+  if count < 0 then raise (Codec.Error "Checkpoint: negative entry count");
+  let entries = Hashtbl.create (max 64 (2 * count)) in
+  for _ = 1 to count do
+    let site = Codec.read_varint r in
+    let index = Codec.read_varint r in
+    let payload = Codec.read_string r in
+    Hashtbl.replace entries (site, index) payload
+  done;
+  Codec.expect_end r;
+  (meta, entries)
+
+let load ~path ~every ~meta =
+  if every < 1 then invalid_arg "Checkpoint.load: every must be >= 1";
+  let stored_meta, entries = read_entries path in
+  if stored_meta <> meta then
+    raise
+      (Mismatch
+         (Printf.sprintf
+            "checkpoint %s was written by a different run\n  stored:  %s\n  current: %s"
+            path stored_meta meta));
+  {
+    path;
+    every;
+    meta;
+    lock = Mutex.create ();
+    entries;
+    sites = 0;
+    dirty = 0;
+    stats = stats_zero ();
+  }
+
+let inspect path =
+  let meta, entries = read_entries path in
+  (meta, Hashtbl.length entries)
+
+let units t = Mutex.protect t.lock (fun () -> Hashtbl.length t.entries)
+
+(* --- ambient installation ------------------------------------------- *)
+
+(* One journal at a time, installed by the harness around a whole run.
+   [Parallel] reads it on the orchestrating domain only; worker domains
+   touch the journal through {!record}, which locks. *)
+let current : t option ref = ref None
+
+let install t =
+  (match !current with
+  | Some _ -> invalid_arg "Checkpoint.install: a journal is already installed"
+  | None -> ());
+  current := Some t
+
+let uninstall () = current := None
+let active () = !current
+
+(* --- the memo table -------------------------------------------------- *)
+
+let alloc_site t =
+  Mutex.protect t.lock (fun () ->
+      let s = t.sites in
+      t.sites <- s + 1;
+      s)
+
+let find : type a. t -> site:int -> index:int -> a option =
+ fun t ~site ~index ->
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.entries (site, index) with
+      | None -> None
+      | Some payload ->
+          t.stats.units_restored <- t.stats.units_restored + 1;
+          Some (Marshal.from_string payload 0))
+
+let record t ~site ~index v =
+  match
+    (* Closures (and other unmarshalable values) cannot be journaled;
+       skipping them costs recomputation on resume, never correctness. *)
+    try Some (Marshal.to_string v []) with Invalid_argument _ -> None
+  with
+  | None -> ()
+  | Some payload ->
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.replace t.entries (site, index) payload;
+          t.stats.units_stored <- t.stats.units_stored + 1;
+          t.dirty <- t.dirty + 1;
+          if t.dirty >= t.every then write_locked t)
+
+let flush t =
+  Mutex.protect t.lock (fun () -> if t.dirty > 0 then write_locked t)
+
+let finalize t =
+  Mutex.protect t.lock (fun () -> if t.dirty > 0 then write_locked t);
+  match !current with Some c when c == t -> current := None | _ -> ()
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        units_stored = t.stats.units_stored;
+        units_restored = t.stats.units_restored;
+        writes = t.stats.writes;
+        write_seconds = t.stats.write_seconds;
+      })
+
+let active_stats () = Option.map stats !current

@@ -43,3 +43,12 @@ let iter f t =
   for i = 0 to t.len - 1 do
     f t.buf.(i)
   done
+
+(* Checkpoint support: only the live prefix is state; capacity is a
+   performance detail the decoder re-derives. *)
+let encode w t = Codec.int_array w (Array.sub t.buf 0 t.len)
+
+let decode r =
+  let a = Codec.read_int_array r in
+  let len = Array.length a in
+  { buf = (if len = 0 then Array.make 16 0 else a); len }

@@ -33,3 +33,8 @@ val swap_remove_first : t -> int -> bool
     arena's in-edge lists, where duplicates encode edge multiplicity. *)
 
 val iter : (int -> unit) -> t -> unit
+
+val encode : Codec.writer -> t -> unit
+(** Serialize the live prefix for checkpoints (capacity is not state). *)
+
+val decode : Codec.reader -> t

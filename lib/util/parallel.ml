@@ -15,36 +15,64 @@ let map ?domains f xs =
   let domains =
     match domains with Some d -> max 1 d | None -> domains_from_env ()
   in
-  if n = 0 then [||]
-  else if domains <= 1 || n = 1 then Array.map f xs
-  else begin
-    let workers = min domains n in
-    let results = Array.make n None in
-    (* First failure wins: later failures in other domains are dropped, and
-       the winning exception is re-raised with its original backtrace. *)
-    let failure = Atomic.make None in
-    let chunk = (n + workers - 1) / workers in
-    let run lo hi () =
-      try
-        for i = lo to hi do
-          results.(i) <- Some (f xs.(i))
-        done
-      with exn ->
-        let bt = Printexc.get_raw_backtrace () in
-        ignore (Atomic.compare_and_set failure None (Some (exn, bt)))
-    in
-    let handles =
-      List.init workers (fun w ->
-          let lo = w * chunk in
-          let hi = min (n - 1) (((w + 1) * chunk) - 1) in
-          if lo > hi then None else Some (Domain.spawn (run lo hi)))
-    in
-    List.iter (function Some h -> Domain.join h | None -> ()) handles;
-    (match Atomic.get failure with
-    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-    | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
-  end
+  (* Checkpoint integration.  Site numbers are allocated per [map] call
+     in execution order — even for empty calls, so the numbering never
+     depends on input sizes — and unit indices are input positions.
+     Both are independent of the domain count, which is what makes a
+     journal written at one CHURNET_DOMAINS resumable at any other. *)
+  let journal = Checkpoint.active () in
+  let site =
+    match journal with Some j -> Checkpoint.alloc_site j | None -> -1
+  in
+  let eval i x =
+    match journal with
+    | None -> f x
+    | Some j -> (
+        match Checkpoint.find j ~site ~index:i with
+        | Some v -> v
+        | None ->
+            let v = f x in
+            Checkpoint.record j ~site ~index:i v;
+            (* Cache hits do not tick: [--crash-at k] counts freshly
+               computed units, so kill points in a resumed run line up
+               with remaining work, not with restored history. *)
+            Checkpoint.crash_tick ();
+            v)
+  in
+  let results =
+    if n = 0 then [||]
+    else if domains <= 1 || n = 1 then Array.mapi eval xs
+    else begin
+      let workers = min domains n in
+      let results = Array.make n None in
+      (* First failure wins: later failures in other domains are dropped, and
+         the winning exception is re-raised with its original backtrace. *)
+      let failure = Atomic.make None in
+      let chunk = (n + workers - 1) / workers in
+      let run lo hi () =
+        try
+          for i = lo to hi do
+            results.(i) <- Some (eval i xs.(i))
+          done
+        with exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (exn, bt)))
+      in
+      let handles =
+        List.init workers (fun w ->
+            let lo = w * chunk in
+            let hi = min (n - 1) (((w + 1) * chunk) - 1) in
+            if lo > hi then None else Some (Domain.spawn (run lo hi)))
+      in
+      List.iter (function Some h -> Domain.join h | None -> ()) handles;
+      (match Atomic.get failure with
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  in
+  (match journal with Some j -> Checkpoint.flush j | None -> ());
+  results
 
 let init ?domains n f = map ?domains f (Array.init n Fun.id)
 

@@ -20,7 +20,14 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     concurrently on distinct elements (no shared mutable state — in
     particular, no shared {!Prng.t}).  If several elements fail, the
     first exception {e reported} wins (later failures are dropped) and is
-    re-raised in the caller with its backtrace preserved. *)
+    re-raised in the caller with its backtrace preserved.
+
+    When a {!Checkpoint} journal is installed, every call allocates the
+    next call-site number (in execution order, empty calls included) and
+    each element is served from the journal when cached, else computed,
+    recorded under (site, index) and counted as one crash-injection
+    tick.  Site and index numbering are independent of [domains], so a
+    journal resumes identically at any [CHURNET_DOMAINS]. *)
 
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)

@@ -102,3 +102,17 @@ let sample_without_replacement t k n =
 let choose t a =
   if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
   a.(int t (Array.length a))
+
+(* Checkpoint support: the full state is the four xoshiro words. *)
+let encode w t =
+  Codec.i64 w t.s0;
+  Codec.i64 w t.s1;
+  Codec.i64 w t.s2;
+  Codec.i64 w t.s3
+
+let decode r =
+  let s0 = Codec.read_i64 r in
+  let s1 = Codec.read_i64 r in
+  let s2 = Codec.read_i64 r in
+  let s3 = Codec.read_i64 r in
+  { s0; s1; s2; s3 }

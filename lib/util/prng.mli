@@ -51,3 +51,9 @@ val sample_without_replacement : t -> int -> int -> int array
 
 val choose : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
+
+val encode : Codec.writer -> t -> unit
+(** Serialize the generator state (4 fixed int64 words) for checkpoints. *)
+
+val decode : Codec.reader -> t
+(** Rebuild a generator with exactly the encoded future output stream. *)

@@ -11,9 +11,11 @@ let check_int = Alcotest.(check int)
 (* --- Gossip --- *)
 
 let gossip_on kind ~strategy ~seed =
-  let m = Models.create ~rng:(Prng.create seed) kind ~n:250 ~d:8 in
+  let rng = Prng.create seed in
+  let grng = Prng.split rng in
+  let m = Models.create ~rng kind ~n:250 ~d:8 in
   Models.warm_up m;
-  Gossip.run ~strategy m
+  Gossip.run ~rng:grng ~strategy m
 
 let test_gossip_push_pull_completes_sdgr () =
   let tr = gossip_on Models.SDGR ~strategy:Gossip.Push_pull ~seed:1 in
@@ -56,6 +58,77 @@ let test_gossip_strategy_names () =
   Alcotest.(check string) "push" "push" (Gossip.strategy_name Gossip.Push);
   Alcotest.(check string) "pull" "pull" (Gossip.strategy_name Gossip.Pull);
   Alcotest.(check string) "push-pull" "push-pull" (Gossip.strategy_name Gossip.Push_pull)
+
+(* Gossip determinism: the model and the protocol own separate PRNG
+   streams, so the caller controls each independently. *)
+
+let gossip_seeded kind ~strategy ~model_seed ~gossip_seed ~n ~d =
+  let m = Models.create ~rng:(Prng.create model_seed) kind ~n ~d in
+  Models.warm_up m;
+  Gossip.run ~rng:(Prng.create gossip_seed) ~strategy m
+
+let test_gossip_deterministic () =
+  let run () =
+    gossip_seeded Models.SDGR ~strategy:Gossip.Push_pull ~model_seed:6 ~gossip_seed:60
+      ~n:250 ~d:8
+  in
+  check_bool "same seeds give the identical trace" true (run () = run ())
+
+let test_gossip_uses_caller_rng () =
+  (* Regression: Gossip.run used to hard-code its own PRNG seed, so the
+     caller's generator was ignored and every trial made the same random
+     neighbor choices.  Same model, different gossip seeds must differ. *)
+  let with_gossip_seed gossip_seed =
+    gossip_seeded Models.SDGR ~strategy:Gossip.Push_pull ~model_seed:6 ~gossip_seed
+      ~n:250 ~d:8
+  in
+  check_bool "different gossip seeds give different traces" true
+    (with_gossip_seed 60 <> with_gossip_seed 61)
+
+let test_gossip_trials_draw_distinct_randomness () =
+  (* The replication idiom: a fixed model seed with per-trial split gossip
+     generators.  Under the old hard-coded seed all eight trials were
+     bit-identical; now they must actually sample the protocol's
+     randomness. *)
+  let rng = Prng.create 77 in
+  let traces =
+    Churnet_util.Parallel.replicate ~domains:2 ~rng ~trials:8 (fun grng ->
+        let m = Models.create ~rng:(Prng.create 123) Models.SDGR ~n:200 ~d:6 in
+        Models.warm_up m;
+        Gossip.run ~rng:grng ~strategy:Gossip.Push m)
+  in
+  let distinct =
+    Array.fold_left
+      (fun acc tr -> if List.exists (fun t -> t = tr) acc then acc else tr :: acc)
+      [] traces
+  in
+  check_bool "trials draw distinct gossip randomness" true (List.length distinct >= 2)
+
+let test_gossip_extinction_fields () =
+  (* A tiny non-regenerating streaming model with d = 1 and push gossip:
+     the rumor regularly strands on dead-end nodes and the informed set
+     dies of old age.  Extinct traces must carry a consistent
+     extinction_round instead of masquerading as a run that hit the
+     round bound (the old [r := max_rounds] hack). *)
+  let extinct_seen = ref 0 in
+  for seed = 1 to 40 do
+    let tr =
+      gossip_seeded Models.SDG ~strategy:Gossip.Push ~model_seed:seed
+        ~gossip_seed:(1000 + seed) ~n:40 ~d:1
+    in
+    if tr.extinct then begin
+      incr extinct_seen;
+      check_bool "extinct trace not completed" false tr.completed;
+      check_bool "extinction round matches the trace length" true
+        (match tr.extinction_round with Some r -> r = tr.rounds && r >= 1 | None -> false);
+      check_int "informed set ends empty" 0
+        tr.informed_per_round.(Array.length tr.informed_per_round - 1)
+    end
+    else
+      check_bool "non-extinct trace has no extinction round" true
+        (tr.extinction_round = None)
+  done;
+  check_bool "the seed sweep exhibits extinction" true (!extinct_seen > 0)
 
 (* --- Capped model --- *)
 
@@ -191,6 +264,10 @@ let suite =
     ("gossip trace consistency", `Quick, test_gossip_trace_consistency);
     ("gossip message budget", `Quick, test_gossip_message_budgets);
     ("gossip names", `Quick, test_gossip_strategy_names);
+    ("gossip deterministic", `Quick, test_gossip_deterministic);
+    ("gossip uses caller rng", `Quick, test_gossip_uses_caller_rng);
+    ("gossip trials distinct", `Quick, test_gossip_trials_draw_distinct_randomness);
+    ("gossip extinction fields", `Quick, test_gossip_extinction_fields);
     ("capped respects cap", `Quick, test_capped_respects_cap);
     ("capped keeps out-degree", `Quick, test_capped_keeps_out_degree);
     ("capped tight cap", `Quick, test_capped_tight_cap_parks_requests);

@@ -6,6 +6,8 @@ let () =
       ("stats", Test_stats.suite);
       ("json", Test_json.suite);
       ("util-structures", Test_util_structures.suite);
+      ("codec", Test_codec.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("lint", Test_lint.suite);
       ("graph", Test_graph.suite);
       ("churn", Test_churn.suite);

@@ -110,6 +110,47 @@ let test_heap_growth () =
   done;
   check_bool "1000 items sorted" true !sorted
 
+let test_heap_fifo_interleaved_growth () =
+  (* Tied keys across the 16-slot growth boundary, with pops interleaved
+     between the waves: values with equal keys must come back in push
+     order (the async flood replays depend on this). *)
+  let h = Heap.create () in
+  for i = 0 to 23 do
+    Heap.push h (float_of_int (i mod 3)) i
+  done;
+  (* Pop the whole key-0 class: pushed at 0, 3, 6, ..., 21. *)
+  for j = 0 to 7 do
+    match Heap.pop h with
+    | Some (0., v) -> check_int "key-0 FIFO" (3 * j) v
+    | other ->
+        Alcotest.failf "expected key-0 value %d, got %s" (3 * j)
+          (match other with
+          | None -> "empty"
+          | Some (k, v) -> Printf.sprintf "(%g, %d)" k v)
+  done;
+  (* A second wave with key 1 lands behind the first wave's key-1 class. *)
+  for i = 24 to 31 do
+    Heap.push h 1. i
+  done;
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (k, v) ->
+        popped := (k, v) :: !popped;
+        drain ()
+  in
+  drain ();
+  let expected =
+    List.map (fun v -> (1., v)) [ 1; 4; 7; 10; 13; 16; 19; 22; 24; 25; 26; 27; 28; 29; 30; 31 ]
+    @ List.map (fun v -> (2., v)) [ 2; 5; 8; 11; 14; 17; 20; 23 ]
+  in
+  check_bool "interleaved waves drain in (key, push-order)" true
+    (List.rev !popped = expected);
+  Heap.clear h;
+  Heap.push h 0.5 99;
+  check_bool "usable after clear" true (Heap.pop h = Some (0.5, 99))
+
 let heap_qcheck =
   [
     QCheck.Test.make ~name:"heap pops sorted" ~count:300
@@ -123,6 +164,55 @@ let heap_qcheck =
           | Some (k, ()) -> if k < prev then false else drain k
         in
         drain neg_infinity);
+    QCheck.Test.make ~name:"heap FIFO among equal keys" ~count:300
+      QCheck.(list_of_size (Gen.int_range 0 60) (int_bound 2))
+      (fun prios ->
+        (* Priorities from {0,1,2} force many ties; values record push
+           order, so pops must ascend lexicographically in (key, value). *)
+        let h = Heap.create () in
+        List.iteri (fun i p -> Heap.push h (float_of_int p) i) prios;
+        let rec drain prev =
+          match Heap.pop h with
+          | None -> true
+          | Some (k, v) -> (
+              match prev with
+              | Some (pk, pv) when k < pk || (k = pk && v < pv) -> false
+              | _ -> drain (Some (k, v)))
+        in
+        drain None);
+    QCheck.Test.make ~name:"heap matches a stable reference model" ~count:200
+      QCheck.(list (option (int_bound 3)))
+      (fun ops ->
+        (* Some p = push with priority p, None = pop; the reference keeps
+           (key, seq) pairs and removes the lexicographic minimum. *)
+        let h = Heap.create () in
+        let model = ref [] in
+        let seq = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun op ->
+            match op with
+            | Some p ->
+                let k = float_of_int p in
+                Heap.push h k !seq;
+                model := (k, !seq) :: !model;
+                incr seq
+            | None -> (
+                let best =
+                  List.fold_left
+                    (fun acc (k, s) ->
+                      match acc with
+                      | Some (bk, bs) when bk < k || (bk = k && bs < s) -> acc
+                      | _ -> Some (k, s))
+                    None (List.rev !model)
+                in
+                match (Heap.pop h, best) with
+                | None, None -> ()
+                | Some (k, v), Some (bk, bs) when k = bk && v = bs ->
+                    model := List.filter (fun (_, s) -> s <> bs) !model
+                | _ -> ok := false))
+          ops;
+        !ok && Heap.length h = List.length !model);
   ]
 
 (* --- Union_find --- *)
@@ -288,6 +378,7 @@ let suite =
     ("heap peek", `Quick, test_heap_peek);
     ("heap clear", `Quick, test_heap_clear);
     ("heap growth", `Quick, test_heap_growth);
+    ("heap FIFO across growth boundary", `Quick, test_heap_fifo_interleaved_growth);
     ("union-find basic", `Quick, test_uf_basic);
     ("union-find transitivity", `Quick, test_uf_transitivity);
     ("union-find sizes", `Quick, test_uf_component_sizes);
