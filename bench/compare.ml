@@ -1,0 +1,436 @@
+(* compare.exe: the perf regression gate.
+
+   Re-measures the kernel head-to-heads through the same [Bench_refs]
+   harness as kernels.exe (median of CHURNET_COMPARE_REPEATS fresh
+   repeats, default 3), diffs the result against the blessed baseline in
+   bench/baseline/<scale>.json, writes a churnet-compare/1 JSON report
+   and exits non-zero when any gated metric regressed beyond its
+   tolerance.
+
+   What gates and what does not: absolute wall-clock numbers depend on
+   the machine running the job, so they are recorded informationally
+   (tolerance null) and never gate.  The gate rides metrics that are
+   machine-portable:
+
+   - old-vs-new speedup ratios.  Both sides run on the same machine in
+     the same process, so the ratio cancels the machine out; the old
+     sides are the pre-optimization implementations kept verbatim in
+     [Bench_refs].
+   - exact allocation counts (words per operation).  The workloads are
+     PRNG-deterministic, so allocations are reproducible to the word.
+
+   Usage: compare [--bless] [--baseline FILE] [--out FILE]
+
+   --bless re-measures and (over)writes the baseline file instead of
+   gating — the documented re-bless workflow after an intentional
+   performance change (see DESIGN.md).
+
+   Env: CHURNET_BENCH_SCALE / CHURNET_BENCH_SEED as for kernels.exe;
+   CHURNET_COMPARE_REPEATS overrides the repeat count;
+   CHURNET_COMPARE_HANDICAP="churn=2.0,flood_hop=1.5" multiplies the
+   new-side measured time of the named kernel groups (churn, snapshot,
+   flood_hop, bitset_scan) — a synthetic slowdown used by CI to prove
+   the gate actually fails. *)
+
+module Scale = Churnet_experiments.Scale
+module Json = Churnet_util.Json
+module Stats = Churnet_util.Stats
+module Refs = Bench_refs
+
+let scale =
+  match Sys.getenv_opt "CHURNET_BENCH_SCALE" with
+  | Some s -> (
+      match Scale.of_string s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "compare: bad CHURNET_BENCH_SCALE %S\n" s;
+          exit 2)
+  | None -> Scale.Smoke
+
+let seed =
+  match Sys.getenv_opt "CHURNET_BENCH_SEED" with
+  | Some s -> int_of_string s
+  | None -> 42
+
+let repeats =
+  match Sys.getenv_opt "CHURNET_COMPARE_REPEATS" with
+  | Some s ->
+      let k = int_of_string s in
+      if k < 1 then begin
+        Printf.eprintf "compare: CHURNET_COMPARE_REPEATS must be >= 1\n";
+        exit 2
+      end;
+      k
+  | None -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic handicap (CI self-test).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let handicap_groups = [ "churn"; "snapshot"; "flood_hop"; "bitset_scan" ]
+
+let handicaps =
+  match Sys.getenv_opt "CHURNET_COMPARE_HANDICAP" with
+  | None | Some "" -> []
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.map (fun part ->
+             match String.split_on_char '=' (String.trim part) with
+             | [ group; factor ] when List.mem group handicap_groups -> (
+                 match float_of_string_opt factor with
+                 | Some f when f > 0. -> (group, f)
+                 | _ ->
+                     Printf.eprintf "compare: bad handicap factor in %S\n" part;
+                     exit 2)
+             | _ ->
+                 Printf.eprintf
+                   "compare: bad CHURNET_COMPARE_HANDICAP entry %S (want \
+                    group=factor with group one of %s)\n"
+                   part
+                   (String.concat "|" handicap_groups);
+                 exit 2)
+
+let handicap group = match List.assoc_opt group handicaps with Some f -> f | None -> 1.
+
+(* ------------------------------------------------------------------ *)
+(* Metric catalogue.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type direction = Higher | Lower
+
+let direction_to_string = function Higher -> "higher" | Lower -> "lower"
+
+let direction_of_string = function
+  | "higher" -> Some Higher
+  | "lower" -> Some Lower
+  | _ -> None
+
+type metric = {
+  name : string;
+  direction : direction;
+  default_tolerance : float option;
+      (* None = informational: recorded in baseline and report, never
+         gated.  Some tol = gated; the tolerance actually applied comes
+         from the baseline file, so it can be tuned without recompiling. *)
+  value : float;
+}
+
+(* Median over repeats so one background-load spike cannot fail the
+   gate (or bless a lucky outlier). *)
+let median xs = Stats.median (Array.of_list xs)
+
+let measure () =
+  let samples = List.init repeats (fun _ ->
+      let c = Refs.measure_graph_core ~seed ~scale in
+      let s = Refs.measure_bitset_scan ~seed ~scale in
+      let f = Refs.measure_flood_hop ~seed ~scale in
+      (c, s, f))
+  in
+  let med proj = median (List.map proj samples) in
+  let churn_h = handicap "churn" and snap_h = handicap "snapshot" in
+  let flood_h = handicap "flood_hop" and scan_h = handicap "bitset_scan" in
+  [
+    {
+      name = "churn_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value = med (fun (c, _, _) -> c.Refs.churn_old_dt /. (c.Refs.churn_new_dt *. churn_h));
+    };
+    {
+      name = "snapshot_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value = med (fun (c, _, _) -> c.Refs.snap_old_dt /. (c.Refs.snap_new_dt *. snap_h));
+    };
+    {
+      name = "bitset_scan_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value = med (fun (_, s, _) -> s.Refs.scan_old_dt /. (s.Refs.scan_new_dt *. scan_h));
+    };
+    {
+      name = "flood_hop_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value = med (fun (_, _, f) -> f.Refs.flood_old_dt /. (f.Refs.flood_new_dt *. flood_h));
+    };
+    {
+      name = "churn_words_per_jump";
+      direction = Lower;
+      default_tolerance = Some 0.02;
+      value = med (fun (c, _, _) -> Refs.words_per_jump c c.Refs.churn_new_words);
+    };
+    {
+      name = "flood_words_per_hop";
+      direction = Lower;
+      default_tolerance = Some 0.02;
+      value = med (fun (_, _, f) -> Refs.words_per_hop f f.Refs.flood_new_words);
+    };
+    {
+      name = "churn_jump_new_ns";
+      direction = Lower;
+      default_tolerance = None;
+      value = med (fun (c, _, _) -> Refs.per_jump_ns c (c.Refs.churn_new_dt *. churn_h));
+    };
+    {
+      name = "snapshot_new_us";
+      direction = Lower;
+      default_tolerance = None;
+      value = med (fun (c, _, _) -> Refs.per_build_us c (c.Refs.snap_new_dt *. snap_h));
+    };
+    {
+      name = "bitset_scan_new_us";
+      direction = Lower;
+      default_tolerance = None;
+      value = med (fun (_, s, _) -> Refs.per_scan_us s (s.Refs.scan_new_dt *. scan_h));
+    };
+    {
+      name = "flood_hop_new_ns";
+      direction = Lower;
+      default_tolerance = None;
+      value = med (fun (_, _, f) -> Refs.per_hop_ns f (f.Refs.flood_new_dt *. flood_h));
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline file (churnet-baseline/1).                                 *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_schema = "churnet-baseline/1"
+let compare_schema = "churnet-compare/1"
+
+let write_baseline path metrics =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String baseline_schema);
+        ("scale", Json.String (Scale.to_string scale));
+        ( "blessed",
+          Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("repeats", Json.Int repeats);
+              ( "workload",
+                Json.Obj
+                  [
+                    ("n", Json.Int Refs.core_n);
+                    ("d", Json.Int Refs.core_d);
+                    ("jumps", Json.Int (Refs.core_jumps scale));
+                    ("snapshot_builds", Json.Int (Refs.snap_reps scale));
+                    ("scan_bits", Json.Int Refs.scan_bits);
+                    ("scan_reps", Json.Int (Refs.scan_reps scale));
+                    ("flood_d", Json.Int Refs.flood_d);
+                    ("flood_reps", Json.Int (Refs.flood_reps scale));
+                  ] );
+            ] );
+        ( "metrics",
+          Json.Obj
+            (List.map
+               (fun m ->
+                 ( m.name,
+                   Json.Obj
+                     [
+                       ("value", Json.of_finite m.value);
+                       ( "tolerance",
+                         match m.default_tolerance with
+                         | Some tol -> Json.Float tol
+                         | None -> Json.Null );
+                       ("direction", Json.String (direction_to_string m.direction));
+                     ] ))
+               metrics) );
+      ]
+  in
+  Json.write_file ~pretty:true path doc
+
+type baseline_entry = {
+  b_value : float;
+  b_tolerance : float option;
+  b_direction : direction;
+}
+
+let read_baseline path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot read baseline %s: %s\n" path msg;
+      Printf.eprintf
+        "compare: bless one first: dune exec bench/compare.exe -- --bless\n";
+      exit 2
+  in
+  let doc =
+    match Json.of_string contents with
+    | Ok d -> d
+    | Error msg ->
+        Printf.eprintf "compare: malformed baseline %s: %s\n" path msg;
+        exit 2
+  in
+  let fail why =
+    Printf.eprintf "compare: baseline %s: %s\n" path why;
+    exit 2
+  in
+  (match Option.bind (Json.member "schema" doc) Json.as_string with
+  | Some s when s = baseline_schema -> ()
+  | Some s -> fail (Printf.sprintf "schema %S, want %S" s baseline_schema)
+  | None -> fail "missing schema");
+  (match Option.bind (Json.member "scale" doc) Json.as_string with
+  | Some s when s = Scale.to_string scale -> ()
+  | Some s ->
+      fail
+        (Printf.sprintf "blessed at scale %S but comparing at %S" s
+           (Scale.to_string scale))
+  | None -> fail "missing scale");
+  match Json.member "metrics" doc with
+  | Some (Json.Obj entries) ->
+      List.filter_map
+        (fun (name, entry) ->
+          match
+            ( Option.bind (Json.member "value" entry) Json.as_float,
+              Option.bind (Json.member "direction" entry) Json.as_string )
+          with
+          | Some b_value, Some dir -> (
+              match direction_of_string dir with
+              | None -> fail (Printf.sprintf "metric %s: bad direction %S" name dir)
+              | Some b_direction ->
+                  let b_tolerance =
+                    match Json.member "tolerance" entry with
+                    | Some Json.Null | None -> None
+                    | Some v -> Json.as_float v
+                  in
+                  Some (name, { b_value; b_tolerance; b_direction }))
+          | _ -> fail (Printf.sprintf "metric %s: missing value/direction" name))
+        entries
+  | _ -> fail "missing metrics object"
+
+(* ------------------------------------------------------------------ *)
+(* Gate.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok_gated | Regression | Info | Missing_baseline
+
+let status_to_string = function
+  | Ok_gated -> "ok"
+  | Regression -> "regression"
+  | Info -> "info"
+  | Missing_baseline -> "missing-baseline"
+
+let judge baseline m =
+  match List.assoc_opt m.name baseline with
+  | None ->
+      (* A metric the blessed file predates: report it, gate nothing.
+         The next re-bless picks it up. *)
+      (Missing_baseline, None, None)
+  | Some b -> (
+      match b.b_tolerance with
+      | None -> (Info, Some b.b_value, None)
+      | Some tol ->
+          let ok =
+            match b.b_direction with
+            | Higher -> m.value >= b.b_value *. (1. -. tol)
+            | Lower -> m.value <= b.b_value *. (1. +. tol)
+          in
+          ((if ok then Ok_gated else Regression), Some b.b_value, Some tol))
+
+let () =
+  let bless = ref false in
+  let baseline_path = ref (Filename.concat "bench/baseline" (Scale.to_string scale ^ ".json")) in
+  let out_path = ref (Printf.sprintf "COMPARE_%d_%s.json" seed (Scale.to_string scale)) in
+  let usage = "compare [--bless] [--baseline FILE] [--out FILE]" in
+  let spec =
+    [
+      ("--bless", Arg.Set bless, " measure and (over)write the baseline, gate nothing");
+      ( "--baseline",
+        Arg.String (fun s -> baseline_path := s),
+        "FILE baseline to diff against / bless (default bench/baseline/<scale>.json)" );
+      ( "--out",
+        Arg.String (fun s -> out_path := s),
+        "FILE churnet-compare/1 report path (default COMPARE_<seed>_<scale>.json)" );
+    ]
+  in
+  (try
+     Arg.parse spec
+       (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+       usage
+   with Arg.Bad msg ->
+     prerr_string msg;
+     exit 2);
+  Printf.printf "compare: scale %s, seed %d, median of %d repeat(s)\n%!"
+    (Scale.to_string scale) seed repeats;
+  if handicaps <> [] then
+    Printf.printf "compare: SYNTHETIC HANDICAP active: %s\n%!"
+      (String.concat ", "
+         (List.map (fun (g, f) -> Printf.sprintf "%s x%.2f" g f) handicaps));
+  let metrics = measure () in
+  if !bless then begin
+    write_baseline !baseline_path metrics;
+    List.iter
+      (fun m ->
+        Printf.printf "  blessed %-22s %10.2f (%s)\n" m.name m.value
+          (match m.default_tolerance with
+          | Some tol -> Printf.sprintf "gated, tolerance %.0f%%" (tol *. 100.)
+          | None -> "informational"))
+      metrics;
+    Printf.printf "compare: wrote baseline %s\n" !baseline_path;
+    exit 0
+  end;
+  let baseline = read_baseline !baseline_path in
+  let judged = List.map (fun m -> (m, judge baseline m)) metrics in
+  let regressions =
+    List.filter_map
+      (fun (m, (st, _, _)) -> if st = Regression then Some m.name else None)
+      judged
+  in
+  List.iter
+    (fun (m, (st, b_value, tol)) ->
+      Printf.printf "  %-12s %-22s measured %10.2f  baseline %10s%s\n"
+        ("[" ^ status_to_string st ^ "]")
+        m.name m.value
+        (match b_value with Some b -> Printf.sprintf "%.2f" b | None -> "-")
+        (match tol with
+        | Some t -> Printf.sprintf "  tolerance %.0f%%" (t *. 100.)
+        | None -> ""))
+    judged;
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String compare_schema);
+        ("scale", Json.String (Scale.to_string scale));
+        ("seed", Json.Int seed);
+        ("repeats", Json.Int repeats);
+        ("baseline", Json.String !baseline_path);
+        ( "handicap",
+          if handicaps = [] then Json.Null
+          else
+            Json.Obj (List.map (fun (g, f) -> (g, Json.Float f)) handicaps) );
+        ( "metrics",
+          Json.Arr
+            (List.map
+               (fun (m, (st, b_value, tol)) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String m.name);
+                     ("measured", Json.of_finite m.value);
+                     ( "baseline",
+                       match b_value with Some b -> Json.of_finite b | None -> Json.Null
+                     );
+                     ( "tolerance",
+                       match tol with Some t -> Json.Float t | None -> Json.Null );
+                     ("direction", Json.String (direction_to_string m.direction));
+                     ("status", Json.String (status_to_string st));
+                   ])
+               judged) );
+        ("regressions", Json.Arr (List.map (fun n -> Json.String n) regressions));
+        ("ok", Json.Bool (regressions = []));
+      ]
+  in
+  Json.write_file ~pretty:true !out_path doc;
+  Printf.printf "compare: wrote report %s\n" !out_path;
+  if regressions <> [] then begin
+    Printf.printf "compare: PERF REGRESSION in %s\n" (String.concat ", " regressions);
+    exit 1
+  end;
+  print_endline "compare: all gated metrics within tolerance"

@@ -2,8 +2,8 @@
    the deterministic multicore replication layer.
 
    Part 1 (Bechamel): old-vs-new [expand_informed] — the historical
-   hashtable + list-returning-neighbors kernel (kept verbatim below as
-   the baseline) against [Flood.expand_informed] (bitset informed set +
+   hashtable + list-returning-neighbors kernel (kept verbatim in
+   [Bench_refs]) against [Flood.expand_informed] (bitset informed set +
    allocation-free neighbor iteration).
 
    Part 2 (wall clock): the E10 experiment (SDGR flooding completion)
@@ -13,12 +13,19 @@
    bit-identical to the serial one.
 
    Part 3 (wall clock + GC): the slot-arena graph core against the
-   pre-arena hashtable core (kept verbatim below as [Hashtbl_core]):
-   churn-jump throughput, snapshot build, and words allocated per jump.
-   Both cores use the canonical regeneration order, so they consume the
-   PRNG identically — the benchmark asserts the final alive sets match
-   before trusting the timings, and writes the numbers to
-   KERNELS_<seed>_<scale>.json (override with CHURNET_KERNELS_JSON).
+   pre-arena hashtable core: churn-jump throughput, snapshot build, and
+   words allocated per jump.  Both cores use the canonical regeneration
+   order, so they consume the PRNG identically — the measurement asserts
+   the final alive sets match before trusting the timings.
+
+   Part 4 (wall clock + GC): the word-level [Bitset.iter] against the
+   byte-at-a-time scan it replaced, and the frontier flooding driver
+   ([Flood.expand_informed_frontier]) against full-rescan hops.
+
+   Parts 3 and 4 write their numbers to KERNELS_<seed>_<scale>.json
+   (override with CHURNET_KERNELS_JSON); [compare.exe] measures the same
+   kernels through the same [Bench_refs] harness and gates them against
+   the blessed baselines in bench/baseline/.
 
    Scale via CHURNET_BENCH_SCALE=smoke|standard|full (default standard)
    and CHURNET_BENCH_SEED (default 42). *)
@@ -34,6 +41,7 @@ module Scale = Churnet_experiments.Scale
 module Prng = Churnet_util.Prng
 module Bitset = Churnet_util.Bitset
 module Intvec = Churnet_util.Intvec
+module Refs = Bench_refs
 
 let scale =
   match Sys.getenv_opt "CHURNET_BENCH_SCALE" with
@@ -51,34 +59,6 @@ let seed =
 (* ------------------------------------------------------------------ *)
 (* Part 1: old vs new expand_informed.                                 *)
 (* ------------------------------------------------------------------ *)
-
-(* The pre-optimization kernel, verbatim: hashtable informed set,
-   list-returning neighbor queries, a fresh [newly] list per hop. *)
-let old_expand_informed graph informed =
-  let alive = Dyngraph.alive_count graph in
-  let informed_alive = ref 0 in
-  Hashtbl.iter
-    (fun id () -> if Dyngraph.is_alive graph id then incr informed_alive)
-    informed;
-  let newly = ref [] in
-  if !informed_alive <= alive - !informed_alive then
-    Hashtbl.iter
-      (fun u () ->
-        if Dyngraph.is_alive graph u then
-          List.iter
-            (fun v -> if not (Hashtbl.mem informed v) then newly := v :: !newly)
-            (Dyngraph.neighbors graph u))
-      informed
-  else
-    Dyngraph.iter_alive graph (fun v ->
-        if not (Hashtbl.mem informed v) then
-          let touches_informed =
-            List.exists
-              (fun u -> Hashtbl.mem informed u)
-              (Dyngraph.neighbors graph v)
-          in
-          if touches_informed then newly := v :: !newly);
-  List.iter (fun v -> Hashtbl.replace informed v ()) !newly
 
 let kernel_tests () =
   let n = 2000 and d = 8 in
@@ -107,7 +87,7 @@ let kernel_tests () =
   let old_hop seed_ids () =
     let informed = Hashtbl.create 1024 in
     Array.iter (fun id -> Hashtbl.replace informed id ()) seed_ids;
-    old_expand_informed graph informed;
+    Refs.old_expand_informed graph informed;
     ignore (Hashtbl.length informed)
   in
   [
@@ -182,176 +162,8 @@ let run_replication () =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Part 3: slot-arena graph core vs the pre-arena hashtable core.      *)
+(* Parts 3 + 4: measured kernels, shared with compare.exe.             *)
 (* ------------------------------------------------------------------ *)
-
-(* The hashtable-backed Dyngraph as it was before the arena rewrite
-   (hooks and protocol helpers dropped; nothing here affects the PRNG
-   draws).  Kill regeneration sorts the in-neighbors, i.e. it already
-   uses the canonical order the arena reproduces, so both cores driven
-   by equal seeds evolve through identical states. *)
-module Hashtbl_core = struct
-  type node = {
-    id : int;
-    birth : int;
-    out_slots : int array;
-    in_edges : (int, int) Hashtbl.t; (* src id -> multiplicity *)
-  }
-
-  type t = {
-    d : int;
-    regenerate : bool;
-    rng : Prng.t;
-    nodes : (int, node) Hashtbl.t;
-    mutable alive : int array;
-    mutable alive_len : int;
-    alive_index : (int, int) Hashtbl.t;
-    mutable next_id : int;
-  }
-
-  let create ~rng ~d ~regenerate () =
-    {
-      d;
-      regenerate;
-      rng;
-      nodes = Hashtbl.create 1024;
-      alive = Array.make 1024 (-1);
-      alive_len = 0;
-      alive_index = Hashtbl.create 1024;
-      next_id = 0;
-    }
-
-  let alive_push t id =
-    if t.alive_len = Array.length t.alive then begin
-      let bigger = Array.make (2 * t.alive_len) (-1) in
-      Array.blit t.alive 0 bigger 0 t.alive_len;
-      t.alive <- bigger
-    end;
-    t.alive.(t.alive_len) <- id;
-    Hashtbl.replace t.alive_index id t.alive_len;
-    t.alive_len <- t.alive_len + 1
-
-  let alive_remove t id =
-    match Hashtbl.find_opt t.alive_index id with
-    | None -> invalid_arg "Hashtbl_core: removing a dead node"
-    | Some pos ->
-        let last = t.alive_len - 1 in
-        let moved = t.alive.(last) in
-        t.alive.(pos) <- moved;
-        Hashtbl.replace t.alive_index moved pos;
-        t.alive_len <- last;
-        Hashtbl.remove t.alive_index id
-
-  let random_alive t =
-    if t.alive_len = 0 then invalid_arg "Hashtbl_core.random_alive: empty";
-    t.alive.(Prng.int t.rng t.alive_len)
-
-  let random_alive_excluding t self =
-    if t.alive_len = 0 then None
-    else if t.alive_len = 1 && t.alive.(0) = self then None
-    else begin
-      let rec go () =
-        let cand = t.alive.(Prng.int t.rng t.alive_len) in
-        if cand = self then go () else cand
-      in
-      Some (go ())
-    end
-
-  let incr_in_edge target src =
-    Hashtbl.replace target.in_edges src
-      (1 + Option.value ~default:0 (Hashtbl.find_opt target.in_edges src))
-
-  let decr_in_edge target src =
-    match Hashtbl.find_opt target.in_edges src with
-    | None -> ()
-    | Some 1 -> Hashtbl.remove target.in_edges src
-    | Some k -> Hashtbl.replace target.in_edges src (k - 1)
-
-  let add_node t ~birth =
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    let node =
-      { id; birth; out_slots = Array.make t.d (-1); in_edges = Hashtbl.create 8 }
-    in
-    for slot = 0 to t.d - 1 do
-      match random_alive_excluding t id with
-      | None -> ()
-      | Some target_id ->
-          node.out_slots.(slot) <- target_id;
-          incr_in_edge (Hashtbl.find t.nodes target_id) id
-    done;
-    Hashtbl.replace t.nodes id node;
-    alive_push t id;
-    id
-
-  let kill t id =
-    let node = Hashtbl.find t.nodes id in
-    alive_remove t id;
-    Hashtbl.remove t.nodes id;
-    Array.iter
-      (fun target_id ->
-        if target_id >= 0 then
-          match Hashtbl.find_opt t.nodes target_id with
-          | Some target -> decr_in_edge target id
-          | None -> ())
-      node.out_slots;
-    let srcs = Hashtbl.fold (fun src _mult acc -> src :: acc) node.in_edges [] in
-    let srcs = List.sort Int.compare srcs in
-    List.iter
-      (fun src_id ->
-        match Hashtbl.find_opt t.nodes src_id with
-        | None -> ()
-        | Some src ->
-            Array.iteri
-              (fun slot target ->
-                if target = id then begin
-                  src.out_slots.(slot) <- -1;
-                  if t.regenerate then
-                    match random_alive_excluding t src_id with
-                    | None -> ()
-                    | Some fresh ->
-                        src.out_slots.(slot) <- fresh;
-                        incr_in_edge (Hashtbl.find t.nodes fresh) src_id
-                end)
-              src.out_slots)
-      srcs
-
-  let alive_ids t = Array.sub t.alive 0 t.alive_len
-
-  let out_degree t id =
-    let node = Hashtbl.find t.nodes id in
-    Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 node.out_slots
-
-  let neighbors t id =
-    let node = Hashtbl.find t.nodes id in
-    let acc = ref [] in
-    Array.iter (fun v -> if v >= 0 then acc := v :: !acc) node.out_slots;
-    Hashtbl.iter (fun src _ -> acc := src :: !acc) node.in_edges;
-    List.sort_uniq Int.compare !acc
-
-  (* The old Dyngraph.snapshot up to (and including) building its
-     structures: sorted ids, id->index hashtable, births, out-degrees
-     and per-row sorted index arrays. *)
-  let snapshot_arrays t =
-    let ids = alive_ids t in
-    Array.sort Int.compare ids;
-    let n = Array.length ids in
-    let index_of = Hashtbl.create (2 * n) in
-    Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
-    let births = Array.map (fun id -> (Hashtbl.find t.nodes id).birth) ids in
-    let out_deg = Array.map (fun id -> out_degree t id) ids in
-    let adj =
-      Array.map
-        (fun id ->
-          let neigh = neighbors t id in
-          let arr = List.filter_map (fun v -> Hashtbl.find_opt index_of v) neigh in
-          let arr = Array.of_list arr in
-          Array.sort Int.compare arr;
-          arr)
-        ids
-    in
-    (ids, births, adj, out_deg)
-end
 
 module Json = Churnet_util.Json
 
@@ -360,99 +172,67 @@ let kernels_json_path =
   | Some p -> p
   | None -> Printf.sprintf "KERNELS_%d_%s.json" seed (Scale.to_string scale)
 
-let core_n = 2000
-let core_d = 8
-let core_jumps = Scale.pick scale ~smoke:30_000 ~standard:150_000 ~full:600_000
-let snap_reps = Scale.pick scale ~smoke:30 ~standard:150 ~full:500
-
-(* Words allocated so far: a monotone counter, exact regardless of when
-   collections happen. *)
-let allocated_words () =
-  let s = Gc.quick_stat () in
-  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
-
-let timed_with_words f =
-  let w0 = allocated_words () in
-  let t0 = Unix.gettimeofday () in
-  f ();
-  let dt = Unix.gettimeofday () -. t0 in
-  (dt, allocated_words () -. w0)
-
-(* One churn jump = one uniform death (with regeneration) + one birth:
-   population pinned at [core_n], so the workload is stationary and the
-   two cores stay state-identical step for step. *)
 let run_graph_core () =
   print_newline ();
   print_endline
     "==================== GRAPH CORE (slot arena vs hashtable) ====================";
-  Printf.printf "n=%d d=%d, %d churn jumps, %d snapshot builds\n%!" core_n core_d
-    core_jumps snap_reps;
-  let core_seed = seed lxor 0x60aed in
-  let old_g = Hashtbl_core.create ~rng:(Prng.create core_seed) ~d:core_d ~regenerate:true () in
-  let new_g = Dyngraph.create ~rng:(Prng.create core_seed) ~d:core_d ~regenerate:true () in
-  for i = 1 to core_n do
-    ignore (Hashtbl_core.add_node old_g ~birth:i)
-  done;
-  for i = 1 to core_n do
-    ignore (Dyngraph.add_node new_g ~birth:i)
-  done;
-  let old_dt, old_words =
-    timed_with_words (fun () ->
-        for i = 1 to core_jumps do
-          Hashtbl_core.kill old_g (Hashtbl_core.random_alive old_g);
-          ignore (Hashtbl_core.add_node old_g ~birth:(core_n + i))
-        done)
-  in
-  let new_dt, new_words =
-    timed_with_words (fun () ->
-        for i = 1 to core_jumps do
-          Dyngraph.kill new_g (Dyngraph.random_alive new_g);
-          ignore (Dyngraph.add_node new_g ~birth:(core_n + i))
-        done)
-  in
-  (* Identical draw sequences mean identical trajectories: check before
-     trusting any timing. *)
-  let old_ids = Hashtbl_core.alive_ids old_g in
-  let new_ids = Dyngraph.alive_ids new_g in
-  Array.sort Int.compare old_ids;
-  Array.sort Int.compare new_ids;
-  if old_ids <> new_ids then begin
-    print_endline "  MISMATCH: hashtable and arena cores diverged!";
-    exit 1
-  end;
+  let c = Refs.measure_graph_core ~seed ~scale in
+  Printf.printf "n=%d d=%d, %d churn jumps, %d snapshot builds\n%!" Refs.core_n
+    Refs.core_d c.Refs.jumps c.Refs.builds;
   print_endline "  cores state-identical after the jump script: OK";
-  let jump_speedup = old_dt /. new_dt in
-  let per_jump dt = dt *. 1e9 /. float_of_int core_jumps in
-  let words_per_jump w = w /. float_of_int core_jumps in
+  let jump_speedup = c.Refs.churn_old_dt /. c.Refs.churn_new_dt in
   Printf.printf "  churn jump old (hashtbl core): %8.0f ns/jump, %7.1f words/jump\n"
-    (per_jump old_dt) (words_per_jump old_words);
+    (Refs.per_jump_ns c c.Refs.churn_old_dt)
+    (Refs.words_per_jump c c.Refs.churn_old_words);
   Printf.printf "  churn jump new (slot arena):   %8.0f ns/jump, %7.1f words/jump\n"
-    (per_jump new_dt) (words_per_jump new_words);
+    (Refs.per_jump_ns c c.Refs.churn_new_dt)
+    (Refs.words_per_jump c c.Refs.churn_new_words);
   Printf.printf "  churn-jump speedup: %.2fx%s\n" jump_speedup
     (if jump_speedup >= 2.0 then "" else "  (below the 2x target!)");
-  let edge_sink = ref 0 in
-  let old_snap_dt, old_snap_words =
-    timed_with_words (fun () ->
-        for _ = 1 to snap_reps do
-          let _, _, adj, _ = Hashtbl_core.snapshot_arrays old_g in
-          edge_sink := !edge_sink + Array.fold_left (fun a r -> a + Array.length r) 0 adj
-        done)
-  in
-  let new_snap_dt, new_snap_words =
-    timed_with_words (fun () ->
-        for _ = 1 to snap_reps do
-          let s = Dyngraph.snapshot new_g in
-          edge_sink := !edge_sink + (2 * Churnet_graph.Snapshot.edge_count s)
-        done)
-  in
-  let per_snap dt = dt *. 1e6 /. float_of_int snap_reps in
-  let snap_speedup = old_snap_dt /. new_snap_dt in
+  let snap_speedup = c.Refs.snap_old_dt /. c.Refs.snap_new_dt in
   Printf.printf "  snapshot build old (adj arrays + id hashtable): %8.1f us\n"
-    (per_snap old_snap_dt);
+    (Refs.per_build_us c c.Refs.snap_old_dt);
   Printf.printf "  snapshot build new (CSR, slot-indexed):         %8.1f us\n"
-    (per_snap new_snap_dt);
+    (Refs.per_build_us c c.Refs.snap_new_dt);
   Printf.printf "  snapshot-build speedup: %.2fx  (directed half-edges seen: %d)\n"
-    snap_speedup !edge_sink;
+    snap_speedup c.Refs.edge_sink;
+  c
+
+let run_scan_kernels () =
+  print_newline ();
+  print_endline
+    "==================== BITSET SCAN (word-level vs byte-at-a-time) ====================";
+  let s = Refs.measure_bitset_scan ~seed ~scale in
+  Printf.printf "%d bits, sparse (1/64) + half-full populations, %d scans/side\n%!"
+    s.Refs.bits s.Refs.scans;
+  let speedup = s.Refs.scan_old_dt /. s.Refs.scan_new_dt in
+  Printf.printf "  scan old (byte-at-a-time): %8.1f us/scan\n"
+    (Refs.per_scan_us s s.Refs.scan_old_dt);
+  Printf.printf "  scan new (word-level):     %8.1f us/scan\n"
+    (Refs.per_scan_us s s.Refs.scan_new_dt);
+  Printf.printf "  bitset-scan speedup: %.2fx  (visit-order checksum: %d)\n" speedup
+    s.Refs.scan_sink;
+  s
+
+let run_flood_kernels () =
+  print_newline ();
+  print_endline
+    "==================== FLOOD HOP (frontier vs full rescan) ====================";
+  let f = Refs.measure_flood_hop ~seed ~scale in
+  Printf.printf "SDG n=%d d=%d, %d complete floods under churn, %d rounds total\n%!"
+    Refs.core_n Refs.flood_d f.Refs.floods f.Refs.total_hops;
+  print_endline "  frontier and full-rescan floods informed identical sets: OK";
+  let speedup = f.Refs.flood_old_dt /. f.Refs.flood_new_dt in
+  Printf.printf "  flood hop old (full rescan): %8.0f ns/hop, %7.1f words/hop\n"
+    (Refs.per_hop_ns f f.Refs.flood_old_dt)
+    (Refs.words_per_hop f f.Refs.flood_old_words);
+  Printf.printf "  flood hop new (frontier):    %8.0f ns/hop, %7.1f words/hop\n"
+    (Refs.per_hop_ns f f.Refs.flood_new_dt)
+    (Refs.words_per_hop f f.Refs.flood_new_words);
+  Printf.printf "  flood-hop speedup: %.2fx\n" speedup;
+  f
+
+let write_json c s f =
   let doc =
     Json.Obj
       [
@@ -462,31 +242,59 @@ let run_graph_core () =
         ( "graph_core",
           Json.Obj
             [
-              ("n", Json.Int core_n);
-              ("d", Json.Int core_d);
-              ("jumps", Json.Int core_jumps);
-              ("snapshot_builds", Json.Int snap_reps);
+              ("n", Json.Int Refs.core_n);
+              ("d", Json.Int Refs.core_d);
+              ("jumps", Json.Int c.Refs.jumps);
+              ("snapshot_builds", Json.Int c.Refs.builds);
               ("state_identical", Json.Bool true);
               ( "churn_jump",
                 Json.Obj
                   [
-                    ("old_ns_per_jump", Json.of_finite (per_jump old_dt));
-                    ("new_ns_per_jump", Json.of_finite (per_jump new_dt));
-                    ("speedup", Json.of_finite jump_speedup);
-                    ("old_words_per_jump", Json.of_finite (words_per_jump old_words));
-                    ("new_words_per_jump", Json.of_finite (words_per_jump new_words));
+                    ("old_ns_per_jump", Json.of_finite (Refs.per_jump_ns c c.Refs.churn_old_dt));
+                    ("new_ns_per_jump", Json.of_finite (Refs.per_jump_ns c c.Refs.churn_new_dt));
+                    ("speedup", Json.of_finite (c.Refs.churn_old_dt /. c.Refs.churn_new_dt));
+                    ( "old_words_per_jump",
+                      Json.of_finite (Refs.words_per_jump c c.Refs.churn_old_words) );
+                    ( "new_words_per_jump",
+                      Json.of_finite (Refs.words_per_jump c c.Refs.churn_new_words) );
                   ] );
               ( "snapshot_build",
                 Json.Obj
                   [
-                    ("old_us_per_build", Json.of_finite (per_snap old_snap_dt));
-                    ("new_us_per_build", Json.of_finite (per_snap new_snap_dt));
-                    ("speedup", Json.of_finite snap_speedup);
+                    ("old_us_per_build", Json.of_finite (Refs.per_build_us c c.Refs.snap_old_dt));
+                    ("new_us_per_build", Json.of_finite (Refs.per_build_us c c.Refs.snap_new_dt));
+                    ("speedup", Json.of_finite (c.Refs.snap_old_dt /. c.Refs.snap_new_dt));
                     ( "old_words_per_build",
-                      Json.of_finite (old_snap_words /. float_of_int snap_reps) );
+                      Json.of_finite (c.Refs.snap_old_words /. float_of_int c.Refs.builds) );
                     ( "new_words_per_build",
-                      Json.of_finite (new_snap_words /. float_of_int snap_reps) );
+                      Json.of_finite (c.Refs.snap_new_words /. float_of_int c.Refs.builds) );
                   ] );
+            ] );
+        ( "bitset_scan",
+          Json.Obj
+            [
+              ("bits", Json.Int s.Refs.bits);
+              ("scans_per_side", Json.Int s.Refs.scans);
+              ("old_us_per_scan", Json.of_finite (Refs.per_scan_us s s.Refs.scan_old_dt));
+              ("new_us_per_scan", Json.of_finite (Refs.per_scan_us s s.Refs.scan_new_dt));
+              ("speedup", Json.of_finite (s.Refs.scan_old_dt /. s.Refs.scan_new_dt));
+              ("visit_order_identical", Json.Bool true);
+            ] );
+        ( "flood_hop",
+          Json.Obj
+            [
+              ("n", Json.Int Refs.core_n);
+              ("d", Json.Int Refs.flood_d);
+              ("floods", Json.Int f.Refs.floods);
+              ("total_hops", Json.Int f.Refs.total_hops);
+              ("old_ns_per_hop", Json.of_finite (Refs.per_hop_ns f f.Refs.flood_old_dt));
+              ("new_ns_per_hop", Json.of_finite (Refs.per_hop_ns f f.Refs.flood_new_dt));
+              ("speedup", Json.of_finite (f.Refs.flood_old_dt /. f.Refs.flood_new_dt));
+              ( "old_words_per_hop",
+                Json.of_finite (Refs.words_per_hop f f.Refs.flood_old_words) );
+              ( "new_words_per_hop",
+                Json.of_finite (Refs.words_per_hop f f.Refs.flood_new_words) );
+              ("informed_sets_identical", Json.Bool true);
             ] );
       ]
   in
@@ -496,4 +304,7 @@ let run_graph_core () =
 let () =
   run_bechamel ();
   run_replication ();
-  run_graph_core ()
+  let c = run_graph_core () in
+  let s = run_scan_kernels () in
+  let f = run_flood_kernels () in
+  write_json c s f

@@ -21,7 +21,11 @@ let coverage_at tr k =
   if len = 0 then nan
   else begin
     let i = min k (len - 1) in
-    float_of_int tr.informed_per_round.(i) /. float_of_int tr.population_per_round.(i)
+    let pop = tr.population_per_round.(i) in
+    (* Post-extinction rounds can have an empty population; coverage is
+       then undefined — a deliberate nan, not an accidental inf. *)
+    if pop <= 0 then nan
+    else float_of_int tr.informed_per_round.(i) /. float_of_int pop
   end
 
 (* Shared trace assembly from per-round logs. *)
@@ -31,11 +35,16 @@ let finish ~completed ~completion_round ~extinct ~extinction_round informed_log
   let population_per_round = Array.of_list (List.rev population_log) in
   let peak_informed = Array.fold_left max 0 informed_per_round in
   let peak_coverage =
-    let best = ref 0. in
+    (* nan until a round with a live population contributes: a trace whose
+       population was empty throughout has no defined coverage. *)
+    let best = ref nan in
     Array.iteri
       (fun i inf ->
         let pop = population_per_round.(i) in
-        if pop > 0 then best := Float.max !best (float_of_int inf /. float_of_int pop))
+        if pop > 0 then begin
+          let c = float_of_int inf /. float_of_int pop in
+          if Float.is_nan !best || c > !best then best := c
+        end)
       informed_per_round;
     !best
   in
@@ -97,6 +106,75 @@ let expand_informed graph informed scratch =
           if touches_informed then Intvec.push scratch v);
   Intvec.iter (fun v -> bs_add informed v) scratch
 
+(* Frontier-based hop: scan only the informed nodes that can still have
+   uninformed neighbors, instead of re-scanning the full informed set.
+
+   Invariant (holds on entry): every alive uninformed node adjacent to an
+   informed node is adjacent to a member of [frontier].  Proof sketch of
+   maintenance: a hop informs every alive uninformed neighbor of every
+   frontier node, so right after the hop no scanned node has an
+   uninformed neighbor.  Between hops the pairs (informed u, uninformed
+   alive v) adjacent to each other can only be created by (a) a node
+   informed in the hop itself — it enters the new frontier below — or
+   (b) an edge created during churn with exactly one informed endpoint —
+   the caller re-arms that endpoint via {!frontier_arm} from the graph's
+   edge hook (births, regeneration and protocol [connect] all fire it).
+   Deaths only remove edges and informed nodes never become uninformed,
+   so nothing else can break the invariant.  Consequently the hop informs
+   exactly the same set a full rescan would, in the same ascending-id
+   staging order — traces are byte-identical, only cheaper. *)
+let expand_informed_frontier graph informed frontier scratch =
+  Intvec.clear scratch;
+  Bitset.iter
+    (fun u ->
+      if bs_mem informed u && Dyngraph.is_alive graph u then
+        Dyngraph.iter_neighbors graph u (fun v ->
+            if not (bs_mem informed v) then Intvec.push scratch v))
+    frontier;
+  Bitset.clear frontier;
+  Intvec.iter
+    (fun v ->
+      bs_add informed v;
+      Bitset.ensure_capacity frontier (v + 1);
+      Bitset.add frontier v)
+    scratch
+
+let frontier_arm frontier id =
+  Bitset.ensure_capacity frontier (id + 1);
+  Bitset.add frontier id
+
+(* Adaptive hop: the frontier hop and the full rescan inform the same
+   set (see above), so each round can pick whichever is cheaper without
+   any observable difference.  Rough operation counts: a frontier hop
+   scans the frontier bitset words plus a full neighbor iteration per
+   frontier member; a rescan scans the smaller of the informed /
+   uninformed sides, where the uninformed side costs one membership test
+   per alive node (iter_alive) plus an early-exiting neighbor probe per
+   uninformed node.  The frontier wins in the sparse early rounds and in
+   the long near-complete tail (where the rescan still sweeps every
+   alive node); the rescan wins in the one or two crossover rounds where
+   the frontier is a large fraction of the graph. *)
+let expand_informed_auto graph informed frontier scratch =
+  let deg = 2 * Dyngraph.d graph in
+  let alive = Dyngraph.alive_count graph in
+  let inf = Bitset.cardinal informed in
+  let frontier_cost =
+    (Bitset.capacity frontier / 64) + (Bitset.cardinal frontier * deg)
+  in
+  let rescan_cost =
+    if inf <= alive - inf then (Bitset.capacity informed / 64) + (inf * deg)
+    else alive + ((alive - inf) * 2)
+  in
+  if frontier_cost <= rescan_cost then
+    expand_informed_frontier graph informed frontier scratch
+  else begin
+    expand_informed graph informed scratch;
+    (* [expand_informed] leaves [scratch] holding the newly informed ids
+       (possibly with duplicates) — exactly the next frontier. *)
+    Bitset.clear frontier;
+    Intvec.iter (fun v -> frontier_arm frontier v) scratch
+  end
+
 let prune_dead graph informed scratch =
   Intvec.clear scratch;
   Bitset.iter
@@ -110,9 +188,15 @@ let prune_dead graph informed scratch =
    of the run loops so it can be serialized mid-flood (checkpointing)
    and so both the synchronous and discretized drivers share one shape.
    [scratch] and [candidates] are per-round staging space: cleared
-   before every use, hence transient and recreated on decode. *)
+   before every use, hence transient and recreated on decode.
+   [frontier] is the synchronous driver's set of informed nodes that may
+   still have uninformed neighbors; it is an optimization cache, not
+   state — rebuilding it conservatively as the whole informed set (what
+   {!decode_state} does) changes nothing observable, so the checkpoint
+   format carries no frontier field. *)
 type state = {
   informed : Bitset.t;
+  frontier : Bitset.t; (* transient cache; see above *)
   scratch : Intvec.t; (* transient *)
   candidates : Intvec.t; (* transient; used by the discretized driver *)
   mutable informed_log : int list; (* head = latest round *)
@@ -165,6 +249,10 @@ let decode_state r =
   then raise (Codec.Error "Flood.decode_state: inconsistent fields");
   {
     informed;
+    (* Conservative frontier: rescanning every informed node on the first
+       post-resume hop yields the same newly-informed set as the exact
+       frontier would (scanning a superset never changes the result). *)
+    frontier = Bitset.copy informed;
     scratch = Intvec.create ~capacity:256 ();
     candidates = Intvec.create ~capacity:1024 ();
     informed_log;
@@ -180,8 +268,11 @@ let decode_state r =
 let make_state ~max_rounds ~source ~population =
   let informed = Bitset.create (source + 64) in
   Bitset.add informed source;
+  let frontier = Bitset.create (source + 64) in
+  Bitset.add frontier source;
   {
     informed;
+    frontier;
     scratch = Intvec.create ~capacity:256 ();
     candidates = Intvec.create ~capacity:1024 ();
     informed_log = [ 1 ];
@@ -203,8 +294,23 @@ let sync_start ~max_rounds ~graph ~step ~newest =
 let sync_round ~graph ~step ~newest st =
   st.round <- st.round + 1;
   (* I_t = (I_{t-1} U boundary in G_{t-1}) /\ N_t *)
-  expand_informed graph st.informed st.scratch;
+  expand_informed_auto graph st.informed st.frontier st.scratch;
+  (* During churn, an edge with exactly one informed endpoint can put an
+     uninformed node next to a long-informed one; re-arm that endpoint so
+     the next hop rescans it (see expand_informed_frontier).  Chain to
+     any hook already installed (e.g. an event recorder) and restore it
+     afterwards. *)
+  let prev_hook = Dyngraph.edge_hook graph in
+  Dyngraph.set_edge_hook graph
+    (Some
+       (fun ~src ~dst ->
+         (match prev_hook with None -> () | Some f -> f ~src ~dst);
+         let src_informed = bs_mem st.informed src in
+         let dst_informed = bs_mem st.informed dst in
+         if src_informed && not dst_informed then frontier_arm st.frontier src
+         else if dst_informed && not src_informed then frontier_arm st.frontier dst));
   step ();
+  Dyngraph.set_edge_hook graph prev_hook;
   prune_dead graph st.informed st.scratch;
   let alive = Dyngraph.alive_count graph in
   let inf = Bitset.cardinal st.informed in

@@ -31,15 +31,52 @@ type trace = {
 
 val coverage_at : trace -> int -> float
 (** [coverage_at tr k] = |I_{t0+k}| / |N_{t0+k}|, or the final coverage if
-    the flood ended earlier. *)
+    the flood ended earlier.  [nan] when that round's population is empty
+    (post-extinction rounds): coverage of nobody is undefined, and an
+    accidental [inf] must never escape into reports. *)
 
 val expand_informed :
   Churnet_graph.Dyngraph.t -> Churnet_util.Bitset.t -> Churnet_util.Intvec.t -> unit
-(** One synchronous flooding hop: add to [informed] (a bitset over node
-    ids) every alive node adjacent to an informed node.  [scratch] is
-    cleared and reused as staging space; the call allocates only when the
-    informed bitset must grow.  Callers must keep [informed] pruned to
-    alive ids (see {!run_custom}).  Exposed for the kernel benchmarks. *)
+(** One synchronous flooding hop by full rescan: add to [informed] (a
+    bitset over node ids) every alive node adjacent to an informed node.
+    [scratch] is cleared and reused as staging space; the call allocates
+    only when the informed bitset must grow.  Callers must keep
+    [informed] pruned to alive ids (see {!run_custom}).  Exposed as the
+    reference kernel for the benchmarks; the drivers use
+    {!expand_informed_frontier}. *)
+
+val expand_informed_frontier :
+  Churnet_graph.Dyngraph.t ->
+  Churnet_util.Bitset.t ->
+  Churnet_util.Bitset.t ->
+  Churnet_util.Intvec.t ->
+  unit
+(** [expand_informed_frontier graph informed frontier scratch]: one
+    synchronous hop scanning only [frontier] — the informed nodes that
+    may still have uninformed neighbors — instead of the whole informed
+    set.  On return [frontier] holds exactly the newly informed nodes.
+    Informs the same set as {!expand_informed} provided the caller
+    maintains the frontier invariant: between hops, every edge created
+    with exactly one informed endpoint re-arms that endpoint into
+    [frontier] (the synchronous driver does this from the graph's edge
+    hook). *)
+
+val expand_informed_auto :
+  Churnet_graph.Dyngraph.t ->
+  Churnet_util.Bitset.t ->
+  Churnet_util.Bitset.t ->
+  Churnet_util.Intvec.t ->
+  unit
+(** [expand_informed_auto graph informed frontier scratch]: one
+    synchronous hop through whichever of {!expand_informed_frontier} and
+    {!expand_informed} a per-round cost model predicts is cheaper (the
+    frontier in sparse and near-complete rounds, the two-sided rescan in
+    the crossover rounds where the frontier spans much of the graph).
+    Both kernels inform identical sets, so the choice is unobservable in
+    results — only in speed.  After a rescan round the frontier is
+    rebuilt as exactly the newly informed nodes, so the invariant of
+    {!expand_informed_frontier} carries over.  This is the hop the
+    synchronous driver ({!sync_round}) uses. *)
 
 (** {1 Resumable flooding state}
 
@@ -76,8 +113,12 @@ val sync_round :
   newest:(unit -> Churnet_graph.Dyngraph.node_id) ->
   state ->
   unit
-(** One synchronous flooding round (Definition 3.3): expand, churn,
-    prune, log, then test completion/extinction. *)
+(** One synchronous flooding round (Definition 3.3): adaptive expand
+    ({!expand_informed_auto}), churn, prune, log, then test
+    completion/extinction.  During [step] the graph's edge hook is
+    temporarily chained (and restored after) to keep the frontier
+    invariant of {!expand_informed_frontier}; the result is
+    byte-identical to a full rescan per hop, only faster. *)
 
 val poisson_start : max_rounds:int -> Poisson_model.t -> state
 (** Advance churn until a birth occurs, inform that newborn, and return

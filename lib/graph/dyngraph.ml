@@ -46,6 +46,7 @@ type t = {
   mutable alive_len : int;
   mutable next_id : int;
   mutable kill_srcs : int array; (* scratch for kill's canonical regen order *)
+  mutable kill_cnts : int array; (* per-src slot multiplicity, parallel to kill_srcs *)
   mutable edge_hook : (src:node_id -> dst:node_id -> unit) option;
   mutable death_hook : (node_id -> unit) option;
   mutable birth_hook : (node_id -> birth:int -> unit) option;
@@ -78,6 +79,7 @@ let create ?rng ~d ~regenerate () =
     alive_len = 0;
     next_id = 0;
     kill_srcs = Array.make 16 0;
+    kill_cnts = Array.make 16 0;
     edge_hook = None;
     death_hook = None;
     birth_hook = None;
@@ -86,6 +88,7 @@ let create ?rng ~d ~regenerate () =
 let d t = t.d
 let regenerate t = t.regenerate
 let set_edge_hook t hook = t.edge_hook <- hook
+let edge_hook t = t.edge_hook
 let set_death_hook t hook = t.death_hook <- hook
 let set_birth_hook t hook = t.birth_hook <- hook
 let alive_count t = t.alive_len
@@ -365,36 +368,46 @@ let kill t id =
       while !n < k do
         n := 2 * !n
       done;
-      t.kill_srcs <- Array.make !n 0
+      t.kill_srcs <- Array.make !n 0;
+      t.kill_cnts <- Array.make !n 0
     end;
-    let srcs = t.kill_srcs in
+    let srcs = t.kill_srcs and cnts = t.kill_cnts in
     for i = 0 to k - 1 do
       srcs.(i) <- Intvec.get inv i
     done;
     sort_range srcs 0 k;
+    (* Duplicates are adjacent after the sort; fold each run into a count
+       so the slot scan below can stop after that many matches instead of
+       always walking all [d] slots (most in-neighbors point here once). *)
     let m = ref 0 in
     for i = 0 to k - 1 do
       if i = 0 || srcs.(i) <> srcs.(i - 1) then begin
         srcs.(!m) <- srcs.(i);
+        cnts.(!m) <- 1;
         incr m
       end
+      else cnts.(!m - 1) <- cnts.(!m - 1) + 1
     done;
     for i = 0 to !m - 1 do
       let src = srcs.(i) in
       let ss = slot_of t src in
       if ss >= 0 then begin
         let srow = ss * t.d in
-        for slot = 0 to t.d - 1 do
-          if t.out.(srow + slot) = id then begin
-            t.out.(srow + slot) <- -1;
+        let remaining = ref cnts.(i) in
+        let slot = ref 0 in
+        while !remaining > 0 && !slot < t.d do
+          if t.out.(srow + !slot) = id then begin
+            decr remaining;
+            t.out.(srow + !slot) <- -1;
             if t.regenerate then
               match random_alive_excluding t src with
               | None -> ()
               | Some fresh ->
-                  t.out.(srow + slot) <- fresh;
+                  t.out.(srow + !slot) <- fresh;
                   Intvec.push t.in_edges.(slot_of t fresh) src;
                   fire_hook t ~src ~dst:fresh
-          end
+          end;
+          incr slot
         done
       end
     done
@@ -783,6 +796,7 @@ let decode r =
       alive_len;
       next_id;
       kill_srcs = Array.make 16 0;
+      kill_cnts = Array.make 16 0;
       edge_hook = None;
       death_hook = None;
       birth_hook = None;

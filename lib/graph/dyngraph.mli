@@ -27,8 +27,13 @@ val regenerate : t -> bool
 
 val set_edge_hook : t -> (src:node_id -> dst:node_id -> unit) option -> unit
 (** Install a callback fired once per out-slot edge creation (both at node
-    birth and at regeneration).  Used by the asynchronous flooding process
-    to notice fresh edges towards informed nodes. *)
+    birth and at regeneration).  Used by the flooding processes to notice
+    fresh edges towards informed nodes. *)
+
+val edge_hook : t -> (src:node_id -> dst:node_id -> unit) option
+(** The currently installed edge hook.  Lets a temporary observer (e.g.
+    the synchronous flooding frontier) chain to — and later restore — a
+    hook installed by someone else instead of silently clobbering it. *)
 
 val set_birth_hook : t -> (node_id -> birth:int -> unit) option -> unit
 (** Install a callback fired right after a node is created (before its
@@ -78,8 +83,11 @@ val kill : t -> node_id -> unit
     surviving in-neighbors if enabled.  In-neighbors regenerate
     oldest-first (ascending id), slots in increasing index order — a fixed
     part of the interface, so the PRNG draw sequence of a run never
-    depends on the graph's internal layout.  Raises [Invalid_argument] if
-    the node is not alive. *)
+    depends on the graph's internal layout.  (Each in-neighbor's slot scan
+    stops once its known multiplicity of edges to the dead node has been
+    handled, which changes nothing observable — the draws still happen in
+    ascending slot order.)  Raises [Invalid_argument] if the node is not
+    alive. *)
 
 val alive_count : t -> int
 val is_alive : t -> node_id -> bool

@@ -48,16 +48,82 @@ let clear t =
   Bytes.fill t.words 0 (Bytes.length t.words) '\000';
   t.cardinal <- 0
 
-let iter f t =
-  (* Skip all-zero bytes: dominant when the set is sparse in a large id
-     space (e.g. the informed set early in a flood). *)
-  for b = 0 to Bytes.length t.words - 1 do
-    let byte = Char.code (Bytes.get t.words b) in
-    if byte <> 0 then
-      for o = 0 to 7 do
-        if byte land (1 lsl o) <> 0 then f ((b lsl 3) lor o)
-      done
+let copy t =
+  { words = Bytes.copy t.words; capacity = t.capacity; cardinal = t.cardinal }
+
+(* Index of the lowest set bit per byte value; entry 0 is never read. *)
+let ctz8 =
+  let a = Array.make 256 0 in
+  for v = 1 to 255 do
+    let i = ref 0 in
+    while v land (1 lsl !i) = 0 do
+      incr i
+    done;
+    a.(v) <- !i
+  done;
+  a
+
+let popcount8 =
+  let a = Array.make 256 0 in
+  for v = 1 to 255 do
+    a.(v) <- a.(v lsr 1) + (v land 1)
+  done;
+  a
+
+(* Drain the set bits of one byte, lowest first: a table lookup per set
+   bit and a clear-lowest-bit trick, so cost scales with the population
+   of the byte rather than 8 mask tests.  The byte value is a snapshot,
+   which is what lets [f] remove the element it was just handed. *)
+let[@inline] visit_byte f base byte =
+  let m = ref byte in
+  while !m <> 0 do
+    f (base lor Array.unsafe_get ctz8 !m);
+    m := !m land (!m - 1)
   done
+
+let iter f t =
+  (* Scan 8-byte words and skip all-zero ones with a single load: the
+     dominant case when the set is sparse in a large id space (e.g. the
+     informed set early in a flood).  Only nonzero words descend to their
+     bytes, and only nonzero bytes pay per-bit work. *)
+  let words = t.words in
+  let nbytes = Bytes.length words in
+  let full = nbytes land lnot 7 in
+  let b = ref 0 in
+  while !b < full do
+    if Int64.equal (Bytes.get_int64_le words !b) 0L then b := !b + 8
+    else begin
+      let stop = !b + 8 in
+      while !b < stop do
+        visit_byte f (!b lsl 3) (Char.code (Bytes.unsafe_get words !b));
+        incr b
+      done
+    end
+  done;
+  while !b < nbytes do
+    visit_byte f (!b lsl 3) (Char.code (Bytes.unsafe_get words !b));
+    incr b
+  done
+
+let iter_words f t =
+  let words = t.words in
+  let nbytes = Bytes.length words in
+  let full = nbytes land lnot 7 in
+  let b = ref 0 in
+  while !b < full do
+    f (!b lsl 3) (Bytes.get_int64_le words !b);
+    b := !b + 8
+  done;
+  if !b < nbytes then begin
+    (* Tail word (capacity not a multiple of 64): assemble the remaining
+       bytes little-endian and zero-pad the rest. *)
+    let w = ref 0L in
+    for i = nbytes - 1 downto !b do
+      w := Int64.logor (Int64.shift_left !w 8)
+             (Int64.of_int (Char.code (Bytes.unsafe_get words i)))
+    done;
+    f (!b lsl 3) !w
+  end
 
 (* Checkpoint support: capacity, cardinal and the raw words.  The words
    array length is pinned to (capacity + 7) / 8 by construction, so the
@@ -73,4 +139,12 @@ let decode r =
   let s = Codec.read_string r in
   if capacity < 0 || cardinal < 0 || String.length s <> (capacity + 7) / 8 then
     raise (Codec.Error "Bitset.decode: inconsistent fields");
+  (* A length-consistent but bit-corrupted payload would desync
+     [cardinal] from the actual bits — and Flood uses [cardinal] for
+     completion/extinction detection on resume — so the popcount is
+     validated, not trusted. *)
+  let pop = ref 0 in
+  String.iter (fun c -> pop := !pop + popcount8.(Char.code c)) s;
+  if !pop <> cardinal then
+    raise (Codec.Error "Bitset.decode: cardinal does not match words popcount");
   { words = Bytes.of_string s; capacity; cardinal }

@@ -23,12 +23,27 @@ val remove : t -> int -> unit
 val cardinal : t -> int
 val clear : t -> unit
 
+val copy : t -> t
+(** Independent copy: mutations on either side never reach the other. *)
+
 val iter : (int -> unit) -> t -> unit
-(** Ascending order.  [f] may remove the element it was just called on
-    (each byte of the underlying store is snapshotted before its bits are
-    visited); any other concurrent mutation is unspecified. *)
+(** Ascending order.  The scan is word-level: all-zero 8-byte words are
+    skipped with one load, and only set bits pay per-bit work.  [f] may
+    remove the element it was just called on (each byte of the underlying
+    store is snapshotted before its bits are visited); any other
+    concurrent mutation is unspecified. *)
+
+val iter_words : (int -> int64 -> unit) -> t -> unit
+(** [iter_words f t] calls [f offset word] for each 64-bit little-endian
+    word of the store, [offset] being the index of the word's lowest bit
+    (a multiple of 64).  The final word is zero-padded when the store is
+    not a multiple of 8 bytes.  Bit [i] of [word] set means
+    [mem t (offset + i)]. *)
 
 val encode : Codec.writer -> t -> unit
 (** Serialize capacity, cardinal and the raw bit words for checkpoints. *)
 
 val decode : Codec.reader -> t
+(** Rejects (with [Codec.Error]) a payload whose recorded cardinal does
+    not equal the popcount of the decoded words, in addition to the
+    structural length checks. *)

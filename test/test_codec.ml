@@ -165,6 +165,28 @@ let test_bitset_rejects_bad_words () =
   expect_codec_error "short words" (fun () ->
       Bitset.decode (Codec.reader (Codec.contents w)))
 
+let test_bitset_rejects_cardinal_mismatch () =
+  (* Structurally valid payloads whose recorded cardinal disagrees with
+     the popcount of the words — a flipped count or a flipped bit in a
+     checkpoint must not produce a bitset that silently miscounts. *)
+  let payload ~cardinal ~words ~capacity =
+    let w = Codec.writer () in
+    Codec.varint w capacity;
+    Codec.varint w cardinal;
+    Codec.string w words;
+    Codec.contents w
+  in
+  (* 3 bits set, cardinal claims 2 *)
+  expect_codec_error "cardinal too small" (fun () ->
+      Bitset.decode (Codec.reader (payload ~capacity:16 ~cardinal:2 ~words:"\x07\x00")));
+  (* 1 bit set, cardinal claims 4 *)
+  expect_codec_error "cardinal too large" (fun () ->
+      Bitset.decode (Codec.reader (payload ~capacity:16 ~cardinal:4 ~words:"\x10\x00")));
+  (* the agreeing payload decodes fine, so the two above failed on the
+     count check and not on something structural *)
+  let b = Bitset.decode (Codec.reader (payload ~capacity:16 ~cardinal:3 ~words:"\x07\x00")) in
+  check_int "control payload decodes" 3 (Bitset.cardinal b)
+
 (* --- Dyngraph --- *)
 
 let graph_bytes g = encode_bytes Dyngraph.encode g
@@ -397,6 +419,7 @@ let suite =
     ("intvec round-trip", `Quick, test_intvec_roundtrip);
     ("bitset round-trip", `Quick, test_bitset_roundtrip);
     ("bitset rejects bad words", `Quick, test_bitset_rejects_bad_words);
+    ("bitset rejects cardinal mismatch", `Quick, test_bitset_rejects_cardinal_mismatch);
     ("dyngraph round-trip with free list", `Quick, test_dyngraph_roundtrip_free_list);
     ("dyngraph round-trip with slid window", `Quick, test_dyngraph_roundtrip_slid_window);
     ("dyngraph rejects corruption", `Quick, test_dyngraph_decode_rejects_corruption);

@@ -281,6 +281,96 @@ let test_async_no_delivery_past_deadline () =
     check_int "only the source informed" 1 r.informed_total
   done
 
+let test_coverage_nan_on_empty_population () =
+  (* Regression: a mass-death step drives the population to 0 while the
+     flood is in flight.  Coverage of an empty round must come back as a
+     deliberate nan — never an inf or a junk ratio — and peak_coverage
+     must skip the empty rounds instead of being poisoned by them. *)
+  let g = Churnet_graph.Dyngraph.create ~rng:(Prng.create 71) ~d:2 ~regenerate:false () in
+  let prev = ref (-1) in
+  let mk i =
+    let targets = if !prev < 0 then [||] else [| !prev |] in
+    prev := Churnet_graph.Dyngraph.add_node_with_targets g ~birth:i ~targets
+  in
+  for i = 1 to 4 do
+    mk i
+  done;
+  let round = ref 0 in
+  let step () =
+    incr round;
+    if !round = 1 then mk 5 (* the source joins the end of the path *)
+    else if !round = 3 then
+      Array.iter (Churnet_graph.Dyngraph.kill g) (Churnet_graph.Dyngraph.alive_ids g)
+  in
+  let tr =
+    Flood.run_custom ~graph:g ~step ~newest:(fun () -> !prev) ~default_max_rounds:20 ()
+  in
+  check_int "population emptied" 0 tr.final_population;
+  check_int "no informed survivors" 0 tr.final_informed;
+  check_bool "coverage of the empty round is nan" true
+    (Float.is_nan (Flood.coverage_at tr tr.rounds));
+  check_bool "peak coverage finite despite empty rounds" true
+    (Float.is_finite tr.peak_coverage);
+  check_bool "peak coverage in [0,1]" true (tr.peak_coverage >= 0. && tr.peak_coverage <= 1.)
+
+let test_frontier_flood_equals_full_rescan () =
+  (* The driver floods through the adaptive frontier kernel; the paper's
+     definition is the full per-round rescan.  Replay the historical
+     rescan loop (expand, churn, prune) on an equal-seeded model and
+     demand the identical per-round trace, churn included. *)
+  let module Dyngraph = Churnet_graph.Dyngraph in
+  let module Bitset = Churnet_util.Bitset in
+  let module Intvec = Churnet_util.Intvec in
+  let reference_trace m max_rounds =
+    let g = Streaming_model.graph m in
+    Streaming_model.step m;
+    let src = Streaming_model.newest m in
+    let informed = Bitset.create (src + 64) in
+    Bitset.add informed src;
+    let scratch = Intvec.create ~capacity:64 () in
+    let log = ref [ (1, Dyngraph.alive_count g) ] in
+    let finished = ref false in
+    let round = ref 0 in
+    while (not !finished) && !round < max_rounds do
+      incr round;
+      Flood.expand_informed g informed scratch;
+      Streaming_model.step m;
+      let dead = ref [] in
+      Bitset.iter (fun v -> if not (Dyngraph.is_alive g v) then dead := v :: !dead) informed;
+      List.iter (Bitset.remove informed) !dead;
+      let alive = Dyngraph.alive_count g in
+      let inf = Bitset.cardinal informed in
+      log := (inf, alive) :: !log;
+      let newborn = Streaming_model.newest m in
+      let newborn_informed =
+        newborn < Bitset.capacity informed && Bitset.mem informed newborn
+      in
+      let uninformed = alive - inf in
+      if uninformed = 0 || (uninformed = 1 && not newborn_informed) then finished := true
+      else if inf = 0 then finished := true
+    done;
+    List.rev !log
+  in
+  let runs =
+    [ (fun seed -> sdgr ~seed ~n:200 ()); (fun seed -> sdg ~seed ~n:200 ~d:3 ()) ]
+  in
+  List.iteri
+    (fun kind make ->
+      for seed = 101 to 103 do
+        let tr = Flood.run_streaming ~max_rounds:150 (make seed) in
+        let got =
+          Array.to_list
+            (Array.mapi
+               (fun i inf -> (inf, tr.population_per_round.(i)))
+               tr.informed_per_round)
+        in
+        let expected = reference_trace (make seed) 150 in
+        if got <> expected then
+          Alcotest.failf "model %d seed %d: frontier trace diverged from full rescan" kind
+            seed
+      done)
+    runs
+
 let test_async_completion_time_from_completing_event () =
   (* completion_time is stamped by the event that completed coverage, so
      it is at least one delivery delay and never past the deadline. *)
@@ -306,6 +396,8 @@ let suite =
       ("streaming extinction trace", `Slow, test_streaming_extinction_trace);
       ("discretized extinction trace", `Slow, test_discretized_extinction_trace);
       ("async: no delivery past deadline", `Quick, test_async_no_delivery_past_deadline);
+      ("coverage nan on empty population", `Quick, test_coverage_nan_on_empty_population);
+      ("frontier flood = full rescan", `Quick, test_frontier_flood_equals_full_rescan);
       ("async: completion time from completing event", `Quick,
        test_async_completion_time_from_completing_event);
     ]

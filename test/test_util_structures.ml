@@ -277,6 +277,65 @@ let test_bitset_bounds () =
   Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of range") (fun () ->
       Bitset.add b 10)
 
+let test_bitset_iter_words () =
+  (* 70 bits → 9 store bytes → two 64-bit words, the second zero-padded. *)
+  let b = Bitset.create 70 in
+  List.iter (Bitset.add b) [ 0; 7; 63; 64; 69 ];
+  let words = ref [] in
+  Bitset.iter_words (fun off w -> words := (off, w) :: !words) b;
+  let expected0 = Int64.(logor 1L (logor (shift_left 1L 7) (shift_left 1L 63))) in
+  let expected1 = Int64.(logor 1L (shift_left 1L 5)) in
+  check_bool "two words, LE bit layout, padded tail" true
+    (List.rev !words = [ (0, expected0); (64, expected1) ])
+
+let bitset_qcheck =
+  (* Random add/remove/grow schedules, with capacities straddling word and
+     byte boundaries, checked against the naive 0..capacity-1 mem scan the
+     word-level iter replaced. *)
+  let ops_gen =
+    QCheck.(
+      pair (int_range 1 300) (list_of_size (Gen.int_range 0 120) (pair bool (int_bound 599))))
+  in
+  let build (cap0, ops) =
+    let b = Bitset.create cap0 in
+    List.iter
+      (fun (add, i) ->
+        Bitset.ensure_capacity b (i + 1);
+        if add then Bitset.add b i else Bitset.remove b i)
+      ops;
+    b
+  in
+  [
+    QCheck.Test.make ~name:"bitset word-level iter = naive mem scan" ~count:500 ops_gen
+      (fun spec ->
+        let b = build spec in
+        let via_iter = ref [] in
+        Bitset.iter (fun i -> via_iter := i :: !via_iter) b;
+        let naive = ref [] in
+        for i = Bitset.capacity b - 1 downto 0 do
+          if Bitset.mem b i then naive := i :: !naive
+        done;
+        List.rev !via_iter = !naive && Bitset.cardinal b = List.length !naive);
+    QCheck.Test.make ~name:"bitset iter_words agrees with mem" ~count:300 ops_gen
+      (fun spec ->
+        let b = build spec in
+        let cap = Bitset.capacity b in
+        let ok = ref true in
+        let next_off = ref 0 in
+        Bitset.iter_words
+          (fun off w ->
+            if off <> !next_off then ok := false;
+            next_off := off + 64;
+            for j = 0 to 63 do
+              let bit = Int64.logand (Int64.shift_right_logical w j) 1L = 1L in
+              let expect = off + j < cap && Bitset.mem b (off + j) in
+              if bit <> expect then ok := false
+            done)
+          b;
+        (* every store byte was covered *)
+        !ok && !next_off >= cap);
+  ]
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -386,6 +445,7 @@ let suite =
     ("bitset iter", `Quick, test_bitset_iter);
     ("bitset clear", `Quick, test_bitset_clear);
     ("bitset bounds", `Quick, test_bitset_bounds);
+    ("bitset iter_words layout", `Quick, test_bitset_iter_words);
     ("table render", `Quick, test_table_render);
     ("table csv", `Quick, test_table_csv);
     ("table fmt", `Quick, test_table_fmt);
@@ -396,7 +456,8 @@ let suite =
     ("bar mixed signs", `Quick, test_bar_mixed_signs);
     ("bar all negative", `Quick, test_bar_all_negative);
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) (kl_qcheck @ heap_qcheck)
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+      (kl_qcheck @ heap_qcheck @ bitset_qcheck)
 
 (* --- Parallel --- *)
 
