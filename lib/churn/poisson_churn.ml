@@ -13,10 +13,9 @@ type t = {
 
 type decision = Birth | Death
 
-let create ?rng ?(lambda = 1.) ~n () =
+let create ~rng ?(lambda = 1.) ~n () =
   if n <= 0 then invalid_arg "Poisson_churn.create: n must be positive";
   if lambda <= 0. then invalid_arg "Poisson_churn.create: lambda must be positive";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xCAFE in
   { lambda; mu = lambda /. float_of_int n; rng; time = 0.; round = 0; births = 0; deaths = 0 }
 
 let lambda t = t.lambda

@@ -13,7 +13,7 @@ type decision =
   | Birth
   | Death  (** The victim is a uniformly random alive node, chosen by the caller. *)
 
-val create : ?rng:Churnet_util.Prng.t -> ?lambda:float -> n:int -> unit -> t
+val create : rng:Churnet_util.Prng.t -> ?lambda:float -> n:int -> unit -> t
 (** [create ~n ()] = churn with arrival rate [lambda] (default 1) and
     death rate mu = lambda/n, so the stationary population is [n] for any
     [lambda].  The paper normalizes lambda = 1 "without loss of

@@ -48,9 +48,8 @@ let cohort_remove c i =
   c.birth_time.(i) <- c.birth_time.(last);
   c.len <- last
 
-let simulate ?rng ~n ~rounds () =
+let simulate ~rng ~n ~rounds () =
   if n <= 0 || rounds <= 0 then invalid_arg "Population.simulate";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xBEEF in
   let churn = Poisson_churn.create ~rng ~n () in
   let cohort = cohort_create () in
   let next_id = ref 0 in

@@ -19,7 +19,7 @@ type stats = {
   lifetime_mean : float;  (** mean observed lifetime in continuous time *)
 }
 
-val simulate : ?rng:Churnet_util.Prng.t -> n:int -> rounds:int -> unit -> stats
+val simulate : rng:Churnet_util.Prng.t -> n:int -> rounds:int -> unit -> stats
 (** Warm up until continuous time [4 n] (Lemma 4.4 needs t >= 3n), then
     run [rounds] further jumps collecting the statistics above.  Ages are
     sampled every [n/4] jumps. *)

@@ -11,11 +11,10 @@ type t = {
   mutable bursts : int;
 }
 
-let create ?rng ~n ~d ~burst_every ~burst_size () =
+let create ~rng ~n ~d ~burst_every ~burst_size () =
   if burst_every < 1 then invalid_arg "Burst_model.create: burst_every must be >= 1";
   if burst_size < 0 || burst_size >= n then
     invalid_arg "Burst_model.create: burst_size must be in [0, n)";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xB0B in
   let base_rng = Prng.split rng in
   {
     n;

@@ -21,7 +21,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   n:int ->
   d:int ->
   burst_every:int ->

@@ -14,9 +14,8 @@ type t = {
   mutable time : float;
 }
 
-let create ?rng ?(retries = 16) ~n ~d ~cap () =
+let create ~rng ?(retries = 16) ~n ~d ~cap () =
   if cap < 1 then invalid_arg "Capped_model.create: cap must be >= 1";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xCA9 in
   let graph_rng = Prng.split rng in
   let churn_rng = Prng.split rng in
   {

@@ -15,7 +15,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   ?retries:int ->
   n:int ->
   d:int ->

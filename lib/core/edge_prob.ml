@@ -73,8 +73,7 @@ let finalize raws ~bounds ~predicted_older ~bound_younger =
       })
     raws
 
-let measure_streaming ?rng ~n ~d ~regenerate ~snapshots ~buckets () =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xED6E in
+let measure_streaming ~rng ~n ~d ~regenerate ~snapshots ~buckets () =
   let model = Streaming_model.create ~rng ~n ~d ~regenerate () in
   Streaming_model.warm_up model;
   let width = max 1 (n / buckets) in
@@ -101,8 +100,7 @@ let measure_streaming ?rng ~n ~d ~regenerate ~snapshots ~buckets () =
       else 1. /. (fn -. 1.))
     ~bound_younger:(1. /. (fn -. 1.))
 
-let measure_poisson ?rng ~n ~d ~regenerate ~snapshots ~buckets () =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xED6F in
+let measure_poisson ~rng ~n ~d ~regenerate ~snapshots ~buckets () =
   let model = Poisson_model.create ~rng ~n ~d ~regenerate () in
   Poisson_model.warm_up model;
   let max_age = 4 * n in

@@ -25,7 +25,7 @@ type bucket = {
 }
 
 val measure_streaming :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   n:int -> d:int -> regenerate:bool -> snapshots:int -> buckets:int -> unit ->
   bucket array
 (** Build a warmed-up streaming model, then take [snapshots] snapshots
@@ -33,7 +33,7 @@ val measure_streaming :
     [buckets] age buckets. *)
 
 val measure_poisson :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   n:int -> d:int -> regenerate:bool -> snapshots:int -> buckets:int -> unit ->
   bucket array
 (** Same for the Poisson model; ages are measured in jump-chain rounds and

@@ -85,21 +85,21 @@ let expand_informed graph informed scratch =
   (* informed <= alive: callers prune dead ids after every churn step. *)
   let informed_alive = Bitset.cardinal informed in
   Intvec.clear scratch;
+  (* Hoisted out of the scan loops: closures allocated per scanned node
+     would dominate the hop's allocation budget. *)
+  let stage v = if not (bs_mem informed v) then Intvec.push scratch v in
+  let mark_found u = if bs_mem informed u then raise_notrace Found in
   if informed_alive <= alive - informed_alive then
     Bitset.iter
       (fun u ->
         if Dyngraph.is_alive graph u then
-          Dyngraph.iter_neighbors graph u (fun v ->
-              if not (bs_mem informed v) then Intvec.push scratch v))
+          Dyngraph.iter_neighbors graph u stage)
       informed
   else
     Dyngraph.iter_alive graph (fun v ->
         if not (bs_mem informed v) then
           let touches_informed =
-            match
-              Dyngraph.iter_neighbors graph v (fun u ->
-                  if bs_mem informed u then raise_notrace Found)
-            with
+            match Dyngraph.iter_neighbors graph v mark_found with
             | () -> false
             | exception Found -> true
           in
@@ -125,11 +125,11 @@ let expand_informed graph informed scratch =
    staging order — traces are byte-identical, only cheaper. *)
 let expand_informed_frontier graph informed frontier scratch =
   Intvec.clear scratch;
+  let stage v = if not (bs_mem informed v) then Intvec.push scratch v in
   Bitset.iter
     (fun u ->
       if bs_mem informed u && Dyngraph.is_alive graph u then
-        Dyngraph.iter_neighbors graph u (fun v ->
-            if not (bs_mem informed v) then Intvec.push scratch v))
+        Dyngraph.iter_neighbors graph u stage)
     frontier;
   Bitset.clear frontier;
   Intvec.iter

@@ -14,9 +14,8 @@ type t = {
   mutable time : float;
 }
 
-let create ?rng ~n ~d ~period () =
+let create ~rng ~n ~d ~period () =
   if period <= 0. then invalid_arg "Lazy_regen_model.create: period must be positive";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x1A2 in
   let graph_rng = Prng.split rng in
   let churn_rng = Prng.split rng in
   {

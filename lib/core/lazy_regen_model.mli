@@ -10,7 +10,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> period:float -> unit -> t
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> period:float -> unit -> t
 (** [period] > 0 in continuous-time units. *)
 
 val n : t -> int

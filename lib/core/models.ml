@@ -21,10 +21,10 @@ let regenerates = function SDGR | PDGR -> true | SDG | PDG -> false
 
 type t = Streaming of Streaming_model.t | Poisson of Poisson_model.t
 
-let create ?rng kind ~n ~d =
+let create ~rng kind ~n ~d =
   if is_streaming kind then
-    Streaming (Streaming_model.create ?rng ~n ~d ~regenerate:(regenerates kind) ())
-  else Poisson (Poisson_model.create ?rng ~n ~d ~regenerate:(regenerates kind) ())
+    Streaming (Streaming_model.create ~rng ~n ~d ~regenerate:(regenerates kind) ())
+  else Poisson (Poisson_model.create ~rng ~n ~d ~regenerate:(regenerates kind) ())
 
 let kind = function
   | Streaming m -> if Streaming_model.regenerates m then SDGR else SDG

@@ -20,7 +20,7 @@ type t =
   | Streaming of Streaming_model.t
   | Poisson of Poisson_model.t
 
-val create : ?rng:Churnet_util.Prng.t -> kind -> n:int -> d:int -> t
+val create : rng:Churnet_util.Prng.t -> kind -> n:int -> d:int -> t
 val kind : t -> kind
 val n : t -> int
 val d : t -> int

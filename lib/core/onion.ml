@@ -100,10 +100,9 @@ let decode_state r =
 let target_of ~n ~d = max 1 (n / d)
 let logn_of n = int_of_float (Float.ceil (log (float_of_int n)))
 
-let start ?rng ~n ~d () =
+let start ~rng ~n ~d () =
   if d < 2 || d mod 2 <> 0 then invalid_arg "Onion.run: d must be even and >= 2";
   if n < 16 then invalid_arg "Onion.run: n too small";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x0910 in
   let logn = logn_of n in
   let half = n / 2 in
   let is_young a = a >= 1 && a < half in
@@ -233,15 +232,14 @@ let finish_state st =
     growth_factors;
   }
 
-let run ?rng ~n ~d () =
-  let st = start ?rng ~n ~d () in
+let run ~rng ~n ~d () =
+  let st = start ~rng ~n ~d () in
   while not (state_finished st) do
     phase_step st
   done;
   finish_state st
 
-let success_probability ?rng ~n ~d ~trials () =
-  let rng = match rng with Some r -> r | None -> Prng.create 0x0911 in
+let success_probability ~rng ~n ~d ~trials () =
   let ok = ref 0 in
   for _ = 1 to trials do
     let r = run ~rng:(Prng.split rng) ~n ~d () in
@@ -257,10 +255,9 @@ let success_probability ?rng ~n ~d ~trials () =
    population; we sample targets uniformly over 1..n excluding the
    requester.  Each node reached for the first time flips a death coin
    with probability ln n / n and, if it dies, joins no layer. *)
-let run_poisson ?rng ~n ~d () =
+let run_poisson ~rng ~n ~d () =
   if d < 2 || d mod 2 <> 0 then invalid_arg "Onion.run_poisson: d must be even and >= 2";
   if n < 16 then invalid_arg "Onion.run_poisson: n too small";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x0912 in
   let fn = float_of_int n in
   let p_die = log fn /. fn in
   let half = n / 2 in
@@ -382,8 +379,7 @@ let run_poisson ?rng ~n ~d () =
     growth_factors;
   }
 
-let success_probability_poisson ?rng ~n ~d ~trials () =
-  let rng = match rng with Some r -> r | None -> Prng.create 0x0913 in
+let success_probability_poisson ~rng ~n ~d ~trials () =
   let ok = ref 0 in
   for _ = 1 to trials do
     let r = run_poisson ~rng:(Prng.split rng) ~n ~d () in

@@ -28,7 +28,7 @@ type result = {
   growth_factors : float array;  (** per-phase layer growth ratios *)
 }
 
-val run : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> result
+val run : rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> result
 (** Simulate one realization of the onion-skin process on a fresh SDG
     age structure with parameters [n] (population) and [d] (requests,
     must be even and >= 2).  Equivalent to {!start} followed by
@@ -50,7 +50,7 @@ val state_finished : state -> bool
 val encode_state : Churnet_util.Codec.writer -> state -> unit
 val decode_state : Churnet_util.Codec.reader -> state
 
-val start : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> state
+val start : rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> state
 (** Materialize every request and run phase 0 (the source's links). *)
 
 val phase_step : state -> unit
@@ -60,13 +60,13 @@ val phase_step : state -> unit
 val finish_state : state -> result
 
 val success_probability :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> trials:int -> unit -> float
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> trials:int -> unit -> float
 (** Fraction of independent realizations for which {!result.reached_target}
     holds.  Lemma 3.9 predicts at least [1 - 4 e^{-d/100}] for d >= 200;
     empirically the bound is extremely loose and already holds for much
     smaller d. *)
 
-val run_poisson : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> result
+val run_poisson : rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> result
 (** The {e extended} onion-skin process of Section 7.2.4 (the Poisson
     counterpart used to prove Theorem 4.13): the population is split into
     the younger and older half by rank at time t0; requests are uniform
@@ -78,7 +78,7 @@ val run_poisson : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> result
     {!result.reached_target} is m/20 informed in each class (Lemma 7.8). *)
 
 val success_probability_poisson :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> trials:int -> unit -> float
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> trials:int -> unit -> float
 (** Success rate of {!run_poisson}.  Theorem 4.13 predicts
     [1 - 2 e^{-d/576} - o(1)] for d >= 1152 — vacuous below d ~ 400;
     empirically the process succeeds from d of a few dozen. *)

@@ -16,9 +16,8 @@ type t = {
   mutable time : float;
 }
 
-let create ?rng ?lambda ~n ~d ~regenerate () =
+let create ~rng ?lambda ~n ~d ~regenerate () =
   if n < 2 then invalid_arg "Poisson_model.create: n must be >= 2";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xD1CE in
   let graph_rng = Prng.split rng in
   let churn_rng = Prng.split rng in
   let graph = Dyngraph.create ~rng:graph_rng ~d ~regenerate () in

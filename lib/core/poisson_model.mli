@@ -10,7 +10,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t -> ?lambda:float -> n:int -> d:int -> regenerate:bool -> unit -> t
+  rng:Churnet_util.Prng.t -> ?lambda:float -> n:int -> d:int -> regenerate:bool -> unit -> t
 (** [lambda] (default 1) is the arrival rate; the death rate is lambda/n
     so the stationary population stays [n].  Message transmission still
     takes one unit of continuous time, so larger [lambda] means more

@@ -1,9 +1,8 @@
 module Prng = Churnet_util.Prng
 module Snapshot = Churnet_graph.Snapshot
 
-let generate ?rng ~n ~d () =
+let generate ~rng ~n ~d () =
   if n < 2 then invalid_arg "Static_dout.generate: n < 2";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x57A7 in
   let edges = ref [] in
   for u = 0 to n - 1 do
     for _ = 1 to d do
@@ -16,8 +15,8 @@ let generate ?rng ~n ~d () =
   done;
   Snapshot.of_edges ~n !edges
 
-let flooding_rounds ?rng ~n ~d () =
-  let snap = generate ?rng ~n ~d () in
+let flooding_rounds ~rng ~n ~d () =
+  let snap = generate ~rng ~n ~d () in
   let dist = Snapshot.bfs snap 0 in
   let ecc = ref 0 and full = ref true in
   Array.iter

@@ -4,11 +4,11 @@
     use it as the churn-free control for both expansion and flooding. *)
 
 val generate :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> Churnet_graph.Snapshot.t
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> Churnet_graph.Snapshot.t
 (** Sample one static d-out random graph. *)
 
 val flooding_rounds :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> int option
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> int option
 (** BFS eccentricity of a random source = rounds synchronous flooding
     needs on a static snapshot; [None] if the source's component does not
     cover the graph. *)

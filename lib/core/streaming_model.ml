@@ -12,9 +12,9 @@ type t = {
   mutable newest : int;
 }
 
-let create ?rng ~n ~d ~regenerate () =
+let create ~rng ~n ~d ~regenerate () =
   if n < 2 then invalid_arg "Streaming_model.create: n must be >= 2";
-  let graph = Dyngraph.create ?rng ~d ~regenerate () in
+  let graph = Dyngraph.create ~rng ~d ~regenerate () in
   { n; d; graph; round = 0; birth_ids = Array.make n (-1); newest = -1 }
 
 let n t = t.n

@@ -10,7 +10,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t -> n:int -> d:int -> regenerate:bool -> unit -> t
+  rng:Churnet_util.Prng.t -> n:int -> d:int -> regenerate:bool -> unit -> t
 
 val n : t -> int
 val d : t -> int

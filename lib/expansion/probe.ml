@@ -133,8 +133,7 @@ let random_sets rng snap ~sizes ~samples =
         List.init samples (fun _ -> Prng.sample_without_replacement rng s n))
     sizes
 
-let probe ?rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xAB1 in
+let probe ~rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
   let n = Snapshot.n snap in
   let max_size = Option.value ~default:(n / 2) max_size in
   let acc = new_acc snap in
@@ -178,8 +177,7 @@ let probe ?rng ?(min_size = 1) ?max_size ?(samples_per_size = 8) snap =
     candidates_tested = acc.tested;
   }
 
-let expansion_profile ?rng snap ~sizes =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xF6 in
+let expansion_profile ~rng snap ~sizes =
   let n = Snapshot.n snap in
   Array.map
     (fun s ->

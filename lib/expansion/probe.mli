@@ -27,7 +27,7 @@ type report = {
 }
 
 val probe :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   ?min_size:int ->
   ?max_size:int ->
   ?samples_per_size:int ->
@@ -38,7 +38,7 @@ val probe :
     random-family effort. *)
 
 val expansion_profile :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   Churnet_graph.Snapshot.t ->
   sizes:int array ->
   (int * float) array

@@ -54,9 +54,8 @@ type t = {
 
 let initial_cap = 256
 
-let create ?rng ~d ~regenerate () =
+let create ~rng ~d ~regenerate () =
   if d <= 0 then invalid_arg "Dyngraph.create: d must be positive";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x5eed in
   {
     d;
     regenerate;
@@ -220,6 +219,8 @@ let birth_unlink t s =
   t.prev_slot.(s) <- -1;
   t.next_slot.(s) <- -1
 
+(* Returns the slot only (the fresh id is [id_of_slot.(s)]): a tuple
+   return here would allocate on every churn jump. *)
 let begin_birth t ~birth =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -230,7 +231,7 @@ let begin_birth t ~birth =
   t.birth_of_slot.(s) <- birth;
   Array.fill t.out (s * t.d) t.d (-1);
   Intvec.clear t.in_edges.(s);
-  (id, s)
+  s
 
 let finish_birth t id s ~birth =
   birth_link t s;
@@ -244,7 +245,8 @@ let finish_birth t id s ~birth =
   id
 
 let add_node t ~birth =
-  let id, s = begin_birth t ~birth in
+  let s = begin_birth t ~birth in
+  let id = t.id_of_slot.(s) in
   (* Sample destinations among nodes alive *before* this birth. *)
   let row = s * t.d in
   for slot = 0 to t.d - 1 do
@@ -257,7 +259,8 @@ let add_node t ~birth =
   finish_birth t id s ~birth
 
 let add_node_with_targets t ~birth ~targets =
-  let id, s = begin_birth t ~birth in
+  let s = begin_birth t ~birth in
+  let id = t.id_of_slot.(s) in
   let row = s * t.d in
   let slot = ref 0 in
   Array.iter

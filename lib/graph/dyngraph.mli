@@ -18,7 +18,7 @@ type node_id = int
 (** Node identifiers are globally unique, monotonically increasing with
     birth order (so [u < v] iff [u] is older than [v]). *)
 
-val create : ?rng:Churnet_util.Prng.t -> d:int -> regenerate:bool -> unit -> t
+val create : rng:Churnet_util.Prng.t -> d:int -> regenerate:bool -> unit -> t
 (** [create ~d ~regenerate ()] makes an empty graph.  [rng] defaults to a
     fixed-seed generator; pass your own for independent replicas. *)
 

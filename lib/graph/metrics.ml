@@ -54,8 +54,7 @@ let degree_assortativity snap =
   done;
   Churnet_util.Stats.pearson (Array.of_list !pairs)
 
-let sample_bfs ?rng ?(sources = 16) snap =
-  let rng = match rng with Some r -> r | None -> Prng.create 0x3E7 in
+let sample_bfs ~rng ?(sources = 16) snap =
   let n = Snapshot.n snap in
   let sources = min sources n in
   let picks =
@@ -64,8 +63,8 @@ let sample_bfs ?rng ?(sources = 16) snap =
   in
   Array.map (fun s -> Snapshot.bfs snap s) picks
 
-let mean_distance ?rng ?sources snap =
-  let runs = sample_bfs ?rng ?sources snap in
+let mean_distance ~rng ?sources snap =
+  let runs = sample_bfs ~rng ?sources snap in
   let acc = ref 0. and count = ref 0 in
   Array.iter
     (fun dist ->
@@ -79,8 +78,8 @@ let mean_distance ?rng ?sources snap =
     runs;
   if !count = 0 then nan else !acc /. float_of_int !count
 
-let diameter_estimate ?rng ?sources snap =
-  let runs = sample_bfs ?rng ?sources snap in
+let diameter_estimate ~rng ?sources snap =
+  let runs = sample_bfs ~rng ?sources snap in
   Array.fold_left
     (fun best dist -> Array.fold_left (fun b d -> if d > b then d else b) best dist)
     0 runs
@@ -114,8 +113,7 @@ type fingerprint = {
   giant_fraction : float;
 }
 
-let fingerprint ?rng snap =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xF19 in
+let fingerprint ~rng snap =
   {
     nodes = Snapshot.n snap;
     edges = Snapshot.edge_count snap;

@@ -16,12 +16,12 @@ val degree_assortativity : Snapshot.t -> float
     random edge (Newman's r); [nan] for degree-regular or empty graphs. *)
 
 val mean_distance :
-  ?rng:Churnet_util.Prng.t -> ?sources:int -> Snapshot.t -> float
+  rng:Churnet_util.Prng.t -> ?sources:int -> Snapshot.t -> float
 (** Average shortest-path distance estimated by BFS from [sources]
     (default 16) random vertices, over reachable pairs. *)
 
 val diameter_estimate :
-  ?rng:Churnet_util.Prng.t -> ?sources:int -> Snapshot.t -> int
+  rng:Churnet_util.Prng.t -> ?sources:int -> Snapshot.t -> int
 (** Max eccentricity observed over the sampled BFS sources — a lower
     bound on the true diameter of the largest component. *)
 
@@ -42,5 +42,5 @@ type fingerprint = {
   giant_fraction : float;
 }
 
-val fingerprint : ?rng:Churnet_util.Prng.t -> Snapshot.t -> fingerprint
+val fingerprint : rng:Churnet_util.Prng.t -> Snapshot.t -> fingerprint
 (** All of the above in one pass (sampling-based entries use [rng]). *)

@@ -207,14 +207,15 @@ let boundary_size ?scratch t set =
     | None -> Bitset.create (n t)
   in
   let count = ref 0 in
-  Bitset.iter
-    (fun u ->
-      iter_neighbors t u (fun v ->
-          if (not (Bitset.mem set v)) && not (Bitset.mem seen v) then begin
-            Bitset.add seen v;
-            incr count
-          end))
-    set;
+  (* Hoisted: allocating this closure per frontier node would swamp the
+     probe kernel's allocation budget. *)
+  let visit v =
+    if (not (Bitset.mem set v)) && not (Bitset.mem seen v) then begin
+      Bitset.add seen v;
+      incr count
+    end
+  in
+  Bitset.iter (fun u -> iter_neighbors t u visit) set;
   !count
 
 let expansion ?scratch t set =

@@ -23,9 +23,8 @@ type t = {
   mutable newest : int;
 }
 
-let create ?rng ?(target_out = 8) ?(max_in = 125) ?(table_size = 64) ?(seed_size = 16)
+let create ~rng ?(target_out = 8) ?(max_in = 125) ?(table_size = 64) ?(seed_size = 16)
     ?(gossip_size = 8) ~n () =
-  let rng = match rng with Some r -> r | None -> Prng.create 0xB17C in
   let graph_rng = Prng.split rng in
   let churn_rng = Prng.split rng in
   {

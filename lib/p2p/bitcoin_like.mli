@@ -17,7 +17,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   ?target_out:int ->
   ?max_in:int ->
   ?table_size:int ->

@@ -14,9 +14,8 @@ type t = {
   mutable newest : int;
 }
 
-let create ?rng ?(cache_size = 32) ?(join_probability = 0.5) ~n ~d () =
+let create ~rng ?(cache_size = 32) ?(join_probability = 0.5) ~n ~d () =
   if n < 2 then invalid_arg "Cache_protocol.create: n must be >= 2";
-  let rng = match rng with Some r -> r | None -> Prng.create 0xCAC8E in
   let graph_rng = Prng.split rng in
   {
     n;

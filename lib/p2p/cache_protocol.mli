@@ -11,7 +11,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   ?cache_size:int ->
   ?join_probability:float ->
   n:int ->

@@ -11,9 +11,8 @@ type t = {
   mutable newest : int;
 }
 
-let create ?rng ~n ~d () =
+let create ~rng ~n ~d () =
   if n < 2 then invalid_arg "Local_update.create: n must be >= 2";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x10CA1 in
   let graph_rng = Prng.split rng in
   {
     n;

@@ -17,7 +17,7 @@
 
 type t
 
-val create : ?rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> t
+val create : rng:Churnet_util.Prng.t -> n:int -> d:int -> unit -> t
 val n : t -> int
 val d : t -> int
 val graph : t -> Churnet_graph.Dyngraph.t

@@ -12,9 +12,8 @@ type t = {
   mutable newest : int;
 }
 
-let create ?rng ?walk_length ~n ~d () =
+let create ~rng ?walk_length ~n ~d () =
   if n < 2 then invalid_arg "Rw_streaming.create: n must be >= 2";
-  let rng = match rng with Some r -> r | None -> Prng.create 0x2A1C in
   let walk_length =
     match walk_length with
     | Some l -> l

@@ -9,7 +9,7 @@
 type t
 
 val create :
-  ?rng:Churnet_util.Prng.t ->
+  rng:Churnet_util.Prng.t ->
   ?walk_length:int ->
   n:int ->
   d:int ->

@@ -1,5 +1,6 @@
 type config = {
   paths : string list;
+  root : string option;
   baseline_path : string option;
   json_path : string option;
   update_baseline : bool;
@@ -15,7 +16,15 @@ type outcome = {
   files_scanned : int;
 }
 
+(* Rules implemented by the engine itself rather than the catalogue:
+   bad-pragma (a malformed suppression) and bad-syntax (the lexer hit a
+   construct it could not finish — unterminated comment/string).  They
+   are valid pragma and baseline targets. *)
 let bad_pragma_rule = "bad-pragma"
+let bad_syntax_rule = "bad-syntax"
+let engine_rules = [ bad_pragma_rule; bad_syntax_rule ]
+
+let known_rule name = Lint_rules.is_rule name || List.mem name engine_rules
 
 (* ------------------------------------------------------------------ *)
 (* Paths and file discovery                                            *)
@@ -50,29 +59,55 @@ let rec walk acc path =
     normalize_path path :: acc
   else acc
 
-let collect_files paths =
-  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+(* Reported paths are always relative to [root] (the repo root by
+   default), because the rule set keys off repo-relative prefixes like
+   "lib/". *)
+let collect_files ~root paths =
+  let fs_of p =
+    match root with
+    | None -> normalize_path p
+    | Some r -> normalize_path (r ^ "/" ^ p)
+  in
+  let rel_of fs =
+    match root with
+    | None -> fs
+    | Some r ->
+        let prefix = normalize_path r ^ "/" in
+        let lp = String.length prefix in
+        if String.length fs >= lp && String.sub fs 0 lp = prefix then
+          String.sub fs lp (String.length fs - lp)
+        else fs
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists (fs_of p))) paths in
   if missing <> [] then
     Error ("no such file or directory: " ^ String.concat ", " missing)
   else
-    let all =
-      List.fold_left (fun acc p -> walk acc (normalize_path p)) [] paths
-    in
+    let all = List.fold_left (fun acc p -> walk acc (fs_of p)) [] paths in
     let all = List.sort_uniq String.compare all in
-    let mls = List.filter (fun p -> has_suffix ".ml" p) all in
-    let mlis = List.filter (fun p -> has_suffix ".mli" p) all in
+    let all = List.map (fun fs -> (rel_of fs, fs)) all in
+    let mls = List.filter (fun (rel, _) -> has_suffix ".ml" rel) all in
+    let mlis = List.filter (fun (rel, _) -> has_suffix ".mli" rel) all in
     Ok (mls, mlis)
 
-let read_file path =
-  In_channel.with_open_bin path In_channel.input_all
+let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 (* ------------------------------------------------------------------ *)
 (* Suppression pragmas                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type pragma =
-  | Allow_lines of string * int * int  (* rule, from line, to line inclusive *)
-  | Allow_file of string
+type pragma_kind =
+  | Allow_lines of int * int  (* from line, to line inclusive *)
+  | Allow_file
+
+(* One parsed pragma, with a mutable hit count so stale ones can be
+   reported under unused-pragma. *)
+type pragma = {
+  pg_rule : string;
+  pg_kind : pragma_kind;
+  pg_file : string;
+  pg_line : int;
+  mutable pg_hits : int;
+}
 
 let em_dash = "\xe2\x80\x94"
 
@@ -89,9 +124,12 @@ let is_dash_word w =
   n > 0 && go 0
 
 let split_words s =
-  List.filter (fun w -> w <> "")
+  List.filter
+    (fun w -> w <> "")
     (String.split_on_char ' '
-       (String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s))
+       (String.map
+          (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c)
+          s))
 
 (* Parse one comment.  Returns a pragma, a bad-pragma finding, or
    nothing when the comment is not a lint directive at all. *)
@@ -107,16 +145,17 @@ let parse_pragma ~path (c : Lint_lexer.comment) =
           line = c.Lint_lexer.c_line;
           col = 1;
           message;
+          witness = [];
         }
     in
     let directive = String.trim (String.sub text 5 (String.length text - 5)) in
     match split_words directive with
-    | keyword :: rule :: rest when keyword = "allow" || keyword = "allow-file" ->
-        if not (Lint_rules.is_rule rule) then
+    | keyword :: rule :: rest when keyword = "allow" || keyword = "allow-file"
+      ->
+        if not (known_rule rule) then
           bad
-            (Printf.sprintf
-               "unknown rule %S in lint pragma (known: %s)" rule
-               (String.concat ", " Lint_rules.names))
+            (Printf.sprintf "unknown rule %S in lint pragma (known: %s)" rule
+               (String.concat ", " (Lint_rules.names @ engine_rules)))
         else
           let reason =
             let rec drop_dashes words =
@@ -132,10 +171,20 @@ let parse_pragma ~path (c : Lint_lexer.comment) =
                  "lint pragma for %S has no reason; write `(* lint: %s %s \
                   \xe2\x80\x94 why this is safe *)'"
                  rule keyword rule)
-          else if keyword = "allow-file" then `Pragma (Allow_file rule)
           else
+            let kind =
+              if keyword = "allow-file" then Allow_file
+              else
+                Allow_lines (c.Lint_lexer.c_line, c.Lint_lexer.c_end_line + 1)
+            in
             `Pragma
-              (Allow_lines (rule, c.Lint_lexer.c_line, c.Lint_lexer.c_end_line + 1))
+              {
+                pg_rule = rule;
+                pg_kind = kind;
+                pg_file = path;
+                pg_line = c.Lint_lexer.c_line;
+                pg_hits = 0;
+              }
     | _ ->
         bad
           "malformed lint pragma; expected `lint: allow <rule> \xe2\x80\x94 \
@@ -150,15 +199,24 @@ let pragmas_of ~path (lex : Lint_lexer.t) =
       | `Bad f -> (pragmas, f :: bad))
     ([], []) lex.Lint_lexer.comments
 
-let suppressed_by pragmas (f : Lint_rules.finding) =
-  List.exists
-    (fun p ->
-      match p with
-      | Allow_file rule -> rule = f.Lint_rules.rule
-      | Allow_lines (rule, lo, hi) ->
-          rule = f.Lint_rules.rule && f.Lint_rules.line >= lo
-          && f.Lint_rules.line <= hi)
-    pragmas
+(* Find the pragma suppressing [f], if any, and record the hit. *)
+let suppressing_pragma pragmas (f : Lint_rules.finding) =
+  match
+    List.find_opt
+      (fun p ->
+        p.pg_file = f.Lint_rules.file
+        && p.pg_rule = f.Lint_rules.rule
+        &&
+        match p.pg_kind with
+        | Allow_file -> true
+        | Allow_lines (lo, hi) ->
+            f.Lint_rules.line >= lo && f.Lint_rules.line <= hi)
+      pragmas
+  with
+  | Some p ->
+      p.pg_hits <- p.pg_hits + 1;
+      true
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Baseline                                                            *)
@@ -184,8 +242,10 @@ let parse_baseline_line ~lineno line =
                   (Printf.sprintf "baseline line %d: bad line number %S" lineno
                      num)
             | Some l ->
-                if Lint_rules.is_rule rule || rule = bad_pragma_rule then
-                  Ok (Some { b_rule = rule; b_file = normalize_path file; b_line = l })
+                if known_rule rule then
+                  Ok
+                    (Some
+                       { b_rule = rule; b_file = normalize_path file; b_line = l })
                 else
                   Error
                     (Printf.sprintf "baseline line %d: unknown rule %S" lineno
@@ -267,33 +327,70 @@ let write_baseline path findings =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lint_file ~mli_paths path =
-  match read_file path with
+(* One scanned source file, read / lexed / parsed exactly once and
+   shared by every consumer (file rules, project rules, pragmas,
+   diagnostics): the per-file parse cache that keeps @runtest latency
+   flat as the rule count grows. *)
+type parsed = {
+  ps_rel : string;
+  ps_lex : Lint_lexer.t;
+  ps_tree : Lint_tree.t option;  (* None for interfaces *)
+  ps_has_mli : bool;
+}
+
+let load_parsed ~is_ml (rel, fs) =
+  match read_file fs with
   | exception Sys_error msg -> Error msg
   | src ->
       let lex = Lint_lexer.lex src in
-      let has_mli =
-        List.mem (path ^ "i") mli_paths || Sys.file_exists (path ^ "i")
-      in
-      let ctx = { Lint_rules.path; lex; has_mli } in
-      let raw =
-        List.concat_map (fun r -> r.Lint_rules.check ctx) Lint_rules.all
-      in
-      let pragmas, bad = pragmas_of ~path lex in
-      let kept, dropped =
-        List.partition (fun f -> not (suppressed_by pragmas f)) raw
-      in
-      Ok (bad @ kept, List.length dropped)
+      Ok
+        {
+          ps_rel = rel;
+          ps_lex = lex;
+          ps_tree = (if is_ml then Some (Lint_tree.parse lex) else None);
+          ps_has_mli = is_ml && Sys.file_exists (fs ^ "i");
+        }
+
+let diagnostics_findings (p : parsed) =
+  Array.to_list p.ps_lex.Lint_lexer.diagnostics
+  |> List.map (fun (d : Lint_lexer.diagnostic) ->
+         {
+           Lint_rules.rule = bad_syntax_rule;
+           file = p.ps_rel;
+           line = d.Lint_lexer.d_line;
+           col = d.Lint_lexer.d_col;
+           message = d.Lint_lexer.d_message;
+           witness = [];
+         })
 
 let to_json outcome =
   let finding_json (f : Lint_rules.finding) =
+    let doc =
+      match
+        List.find_opt
+          (fun (r : Lint_rules.rule) -> r.Lint_rules.name = f.Lint_rules.rule)
+          Lint_rules.all
+      with
+      | Some r -> r.Lint_rules.doc
+      | None ->
+          if f.Lint_rules.rule = bad_pragma_rule then
+            "malformed or unreasoned lint suppression pragma"
+          else if f.Lint_rules.rule = bad_syntax_rule then
+            "the lexer could not finish a construct (unterminated \
+             comment/string); the tail of the file was not checked"
+          else ""
+    in
     Json.Obj
       [
         ("rule", Json.String f.Lint_rules.rule);
+        ("doc", Json.String doc);
         ("file", Json.String f.Lint_rules.file);
         ("line", Json.Int f.Lint_rules.line);
         ("col", Json.Int f.Lint_rules.col);
         ("message", Json.String f.Lint_rules.message);
+        ( "witness",
+          Json.Arr
+            (List.map (fun w -> Json.String w) f.Lint_rules.witness) );
       ]
   in
   let entry_json e =
@@ -306,7 +403,7 @@ let to_json outcome =
   in
   Json.Obj
     [
-      ("schema", Json.String "churnet-lint/1");
+      ("schema", Json.String "churnet-lint/2");
       ("files_scanned", Json.Int outcome.files_scanned);
       ( "rules",
         Json.Arr
@@ -325,62 +422,194 @@ let to_json outcome =
     ]
 
 let run config =
-  match collect_files config.paths with
+  match collect_files ~root:config.root config.paths with
   | Error _ as e -> e
-  | Ok (mls, mli_paths) -> (
+  | Ok (mls, mlis) -> (
       match load_baseline config.baseline_path with
       | Error _ as e -> e
       | Ok entries -> (
-          let rec lint_all acc suppressed files =
+          (* Phase 1: read, lex and parse every file exactly once. *)
+          let rec load_all acc ~is_ml files =
             match files with
-            | [] -> Ok (List.rev acc, suppressed)
+            | [] -> Ok (List.rev acc)
             | f :: tl -> (
-                match lint_file ~mli_paths f with
+                match load_parsed ~is_ml f with
                 | Error _ as e -> e
-                | Ok (fs, dropped) -> lint_all (fs :: acc) (suppressed + dropped) tl)
+                | Ok p -> load_all (p :: acc) ~is_ml tl)
           in
-          match lint_all [] 0 mls with
+          match load_all [] ~is_ml:true mls with
           | Error _ as e -> e
-          | Ok (per_file, suppressed) ->
-              let found =
-                List.sort Lint_rules.compare_findings (List.concat per_file)
-              in
-              let fresh, baselined, expired = apply_baseline entries found in
-              let outcome =
-                if config.update_baseline then begin
-                  (match config.baseline_path with
-                  | Some p -> write_baseline p found
+          | Ok ml_parsed -> (
+              match load_all [] ~is_ml:false mlis with
+              | Error _ as e -> e
+              | Ok mli_parsed ->
+                  let all_parsed = ml_parsed @ mli_parsed in
+                  (* Phase 2: rules.  File rules per unit; project rules
+                     once over the shared parse. *)
+                  let file_findings =
+                    List.concat_map
+                      (fun p ->
+                        let ctx =
+                          {
+                            Lint_rules.path = p.ps_rel;
+                            lex = p.ps_lex;
+                            has_mli = p.ps_has_mli;
+                          }
+                        in
+                        List.concat_map
+                          (fun (r : Lint_rules.rule) ->
+                            match r.Lint_rules.check with
+                            | Lint_rules.File check -> check ctx
+                            | Lint_rules.Project _ | Lint_rules.Synthetic -> [])
+                          Lint_rules.all)
+                      ml_parsed
+                  in
+                  let project =
+                    {
+                      Lint_rules.p_graph =
+                        Lint_graph.build
+                          (List.filter_map
+                             (fun p ->
+                               match p.ps_tree with
+                               | Some tree -> Some (p.ps_rel, p.ps_lex, tree)
+                               | None -> None)
+                             ml_parsed);
+                      p_interfaces =
+                        List.map (fun p -> (p.ps_rel, p.ps_lex)) mli_parsed;
+                    }
+                  in
+                  let project_findings =
+                    List.concat_map
+                      (fun (r : Lint_rules.rule) ->
+                        match r.Lint_rules.check with
+                        | Lint_rules.Project check -> check project
+                        | Lint_rules.File _ | Lint_rules.Synthetic -> [])
+                      Lint_rules.all
+                  in
+                  let syntax_findings =
+                    List.concat_map diagnostics_findings all_parsed
+                  in
+                  let pragmas, bad_pragma_findings =
+                    List.fold_left
+                      (fun (ps, bad) p ->
+                        let ps', bad' =
+                          pragmas_of ~path:p.ps_rel p.ps_lex
+                        in
+                        (ps @ ps', bad @ bad'))
+                      ([], []) all_parsed
+                  in
+                  (* Phase 3: suppression, then stale-pragma detection.
+                     Hits are counted by [suppressing_pragma]; a pragma
+                     allowing unused-pragma earns its keep by
+                     suppressing one. *)
+                  let raw =
+                    file_findings @ project_findings @ syntax_findings
+                  in
+                  let kept, dropped =
+                    List.partition
+                      (fun f -> not (suppressing_pragma pragmas f))
+                      raw
+                  in
+                  let unused0 =
+                    List.filter
+                      (fun p ->
+                        p.pg_hits = 0 && p.pg_rule <> "unused-pragma")
+                      pragmas
+                  in
+                  let unused_findings0 =
+                    List.map
+                      (fun p ->
+                        {
+                          Lint_rules.rule = "unused-pragma";
+                          file = p.pg_file;
+                          line = p.pg_line;
+                          col = 1;
+                          message =
+                            Printf.sprintf
+                              "pragma allows %S but suppresses nothing; the \
+                               code it excused is gone, so remove it"
+                              p.pg_rule;
+                          witness = [];
+                        })
+                      unused0
+                  in
+                  let unused_kept, unused_dropped =
+                    List.partition
+                      (fun f -> not (suppressing_pragma pragmas f))
+                      unused_findings0
+                  in
+                  (* unused-pragma pragmas that themselves suppressed
+                     nothing (no second level: kept deliberately simple) *)
+                  let stale_meta =
+                    List.filter
+                      (fun p ->
+                        p.pg_hits = 0 && p.pg_rule = "unused-pragma")
+                      pragmas
+                    |> List.map (fun p ->
+                           {
+                             Lint_rules.rule = "unused-pragma";
+                             file = p.pg_file;
+                             line = p.pg_line;
+                             col = 1;
+                             message =
+                               "pragma allows \"unused-pragma\" but \
+                                suppresses nothing; remove it";
+                             witness = [];
+                           })
+                  in
+                  let suppressed =
+                    List.length dropped + List.length unused_dropped
+                  in
+                  let found =
+                    List.sort Lint_rules.compare_findings
+                      (bad_pragma_findings @ kept @ unused_kept @ stale_meta)
+                  in
+                  let fresh, baselined, expired =
+                    apply_baseline entries found
+                  in
+                  let files_scanned = List.length all_parsed in
+                  let outcome =
+                    if config.update_baseline then begin
+                      (match config.baseline_path with
+                      | Some p -> write_baseline p found
+                      | None -> ());
+                      {
+                        findings = [];
+                        baselined = List.length found;
+                        suppressed;
+                        expired = [];
+                        files_scanned;
+                      }
+                    end
+                    else
+                      {
+                        findings = fresh;
+                        baselined;
+                        suppressed;
+                        expired;
+                        files_scanned;
+                      }
+                  in
+                  (match config.json_path with
+                  | Some p -> Json.write_file p (to_json outcome)
                   | None -> ());
-                  {
-                    findings = [];
-                    baselined = List.length found;
-                    suppressed;
-                    expired = [];
-                    files_scanned = List.length mls;
-                  }
-                end
-                else
-                  {
-                    findings = fresh;
-                    baselined;
-                    suppressed;
-                    expired;
-                    files_scanned = List.length mls;
-                  }
-              in
-              (match config.json_path with
-              | Some p -> Json.write_file p (to_json outcome)
-              | None -> ());
-              Ok outcome))
+                  Ok outcome)))
+
+let render_finding (f : Lint_rules.finding) =
+  let base =
+    Printf.sprintf "%s:%d:%d: [%s] %s" f.Lint_rules.file f.Lint_rules.line
+      f.Lint_rules.col f.Lint_rules.rule f.Lint_rules.message
+  in
+  match f.Lint_rules.witness with
+  | [] -> base
+  | w -> base ^ " [path: " ^ String.concat " -> " w ^ "]"
 
 let render outcome =
   let buf = Buffer.create 256 in
   List.iter
-    (fun (f : Lint_rules.finding) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s:%d:%d: [%s] %s\n" f.Lint_rules.file
-           f.Lint_rules.line f.Lint_rules.col f.Lint_rules.rule
-           f.Lint_rules.message))
+    (fun f ->
+      Buffer.add_string buf (render_finding f);
+      Buffer.add_char buf '\n')
     outcome.findings;
   List.iter
     (fun e ->

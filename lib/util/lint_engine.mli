@@ -1,7 +1,14 @@
-(** churnet-lint driver: file discovery, suppression pragmas, baseline
-    bookkeeping and report assembly.
+(** churnet-lint driver: file discovery, the shared per-file parse
+    cache, suppression pragmas, baseline bookkeeping and report
+    assembly.
 
-    Suppression pragmas live in ordinary comments:
+    Every scanned file is read, lexed and (for [.ml]) structurally
+    parsed exactly once; file rules, project rules (symbol index + call
+    graph via {!Lint_graph}), pragma parsing and syntax diagnostics all
+    consume that one parse, so adding rules does not add file I/O.
+
+    Suppression pragmas live in ordinary comments (in [.ml] {e and}
+    [.mli] files):
 
     {v
     (* lint: allow <rule> — reason *)        suppress on this and the next line
@@ -10,7 +17,12 @@
 
     A pragma must name a known rule and carry a non-empty reason (after
     an optional "—" or "--" separator); otherwise it is itself reported
-    under the synthetic rule [bad-pragma].
+    under the synthetic rule [bad-pragma].  A pragma that suppresses
+    {e nothing} is reported under [unused-pragma], so suppressions
+    expire with the code they excused.  Lexer-level damage
+    (unterminated comment or string — i.e. a silently truncated scan)
+    is reported under the synthetic rule [bad-syntax] at the position
+    of the offending opener.
 
     The baseline file grandfathers known findings: one [rule file:line]
     entry per line, ['#'] comments allowed.  Findings matching a
@@ -20,8 +32,12 @@
 
 type config = {
   paths : string list;  (** files or directories to scan *)
+  root : string option;
+      (** interpret [paths] (and report findings) relative to this
+          directory; rules key off repo-relative prefixes like "lib/",
+          so fixture trees are linted with their own root *)
   baseline_path : string option;
-  json_path : string option;  (** write a [churnet-lint/1] report here *)
+  json_path : string option;  (** write a [churnet-lint/2] report here *)
   update_baseline : bool;
       (** rewrite the baseline to exactly the current findings *)
 }
@@ -34,7 +50,7 @@ type outcome = {
   baselined : int;  (** findings absorbed by the baseline *)
   suppressed : int;  (** findings silenced by pragmas *)
   expired : baseline_entry list;  (** baseline entries that no longer fire *)
-  files_scanned : int;
+  files_scanned : int;  (** [.ml] and [.mli] files *)
 }
 
 val run : config -> (outcome, string) result
@@ -43,11 +59,13 @@ val run : config -> (outcome, string) result
     path, malformed baseline); it never raises. *)
 
 val render : outcome -> string
-(** Human-readable report: one [file:line:col: [rule] message] line per
-    finding plus a summary line (and expired-baseline notices). *)
+(** Human-readable report: one
+    [file:line:col: [rule] message [path: A -> B]] line per finding
+    plus a summary line (and expired-baseline notices). *)
 
 val to_json : outcome -> Json.t
-(** The [churnet-lint/1] report document. *)
+(** The [churnet-lint/2] report document: each finding carries its
+    rule's one-line doc and (for graph rules) the witness call path. *)
 
 val exit_code : outcome -> int
 (** [0] when {!outcome.findings} is empty, [1] otherwise. *)

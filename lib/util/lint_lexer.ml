@@ -1,6 +1,12 @@
 type token = { text : string; line : int; col : int }
 type comment = { c_text : string; c_line : int; c_end_line : int }
-type t = { tokens : token array; comments : comment array }
+type diagnostic = { d_message : string; d_line : int; d_col : int }
+
+type t = {
+  tokens : token array;
+  comments : comment array;
+  diagnostics : diagnostic array;
+}
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -20,18 +26,31 @@ let lex src =
   let n = String.length src in
   let tokens = ref [] in
   let comments = ref [] in
+  let diagnostics = ref [] in
   let i = ref 0 in
   let line = ref 1 in
   let bol = ref 0 in
   let col_of pos bol = pos - bol + 1 in
   (* Every single-character advance goes through [bump] so that line and
-     beginning-of-line tracking stay correct inside literals and comments. *)
+     beginning-of-line tracking stay correct inside literals and comments.
+     A bare carriage return (classic-Mac line ending) counts as a line
+     break; in a CRLF pair only the '\n' does, and because [bol] is set
+     past the '\n' the '\r' can never shift the columns of the next
+     line's tokens. *)
   let bump () =
-    if src.[!i] = '\n' then begin
-      incr line;
-      bol := !i + 1
-    end;
+    (match src.[!i] with
+    | '\n' ->
+        incr line;
+        bol := !i + 1
+    | '\r' when not (!i + 1 < n && src.[!i + 1] = '\n') ->
+        incr line;
+        bol := !i + 1
+    | _ -> ());
     incr i
+  in
+  let diagnose ~at message =
+    diagnostics :=
+      { d_message = message; d_line = fst at; d_col = snd at } :: !diagnostics
   in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   (* Skip a double-quote-delimited string literal (cursor on the opening
@@ -39,6 +58,7 @@ let lex src =
      covers escaped quotes, backslashes, numeric escapes and line
      continuations alike. *)
   let skip_string () =
+    let at = (!line, col_of !i !bol) in
     bump ();
     let closed = ref false in
     while (not !closed) && !i < n do
@@ -50,7 +70,9 @@ let lex src =
           bump ();
           closed := true
       | _ -> bump ()
-    done
+    done;
+    if not !closed then
+      diagnose ~at "unterminated string literal (reaches end of file)"
   in
   (* If the cursor sits on the '{' of a quoted string [{id|...|id}],
      skip the whole literal and return [true]; otherwise leave the
@@ -64,6 +86,7 @@ let lex src =
       incr j
     done;
     if !j < n && src.[!j] = '|' then begin
+      let at = (!line, col_of !i !bol) in
       let delim = String.sub src (!i + 1) (!j - !i - 1) in
       let dlen = String.length delim in
       (* consume up to and including the opening '|' *)
@@ -86,6 +109,8 @@ let lex src =
         end
         else bump ()
       done;
+      if not !closed then
+        diagnose ~at "unterminated quoted string literal (reaches end of file)";
       true
     end
     else false
@@ -121,6 +146,7 @@ let lex src =
      lexer's own behavior. *)
   let skip_comment () =
     let start_line = !line in
+    let at = (!line, col_of !i !bol) in
     let buf = Buffer.create 64 in
     bump ();
     bump ();
@@ -162,6 +188,8 @@ let lex src =
         bump ()
       end
     done;
+    if !depth > 0 then
+      diagnose ~at "unterminated comment (reaches end of file)";
     comments :=
       { c_text = Buffer.contents buf; c_line = start_line; c_end_line = !line }
       :: !comments
@@ -229,4 +257,5 @@ let lex src =
   {
     tokens = Array.of_list (List.rev !tokens);
     comments = Array.of_list (List.rev !comments);
+    diagnostics = Array.of_list (List.rev !diagnostics);
   }

@@ -34,12 +34,24 @@ type comment = {
   c_end_line : int;  (** 1-based line where the comment closes *)
 }
 
+type diagnostic = {
+  d_message : string;  (** what is malformed, e.g. unterminated comment *)
+  d_line : int;  (** 1-based line where the offending construct opens *)
+  d_col : int;  (** 1-based column where it opens *)
+}
+
 type t = {
   tokens : token array;  (** code tokens, in source order *)
   comments : comment array;  (** comments, in source order *)
+  diagnostics : diagnostic array;
+      (** malformed-input notes (unterminated comment, string or quoted
+          string reaching end of file), positioned at the opener so a
+          silent truncation of the tail of a file is never invisible *)
 }
 
 val lex : string -> t
 (** [lex source] tokenizes [source].  The lexer is total: malformed
-    input (unterminated comment or string) never raises; scanning
-    simply stops at end of input. *)
+    input (unterminated comment or string) never raises; scanning stops
+    at end of input and the truncation is reported in
+    {!t.diagnostics}.  Line endings: LF, CRLF and bare CR all advance
+    the line counter; a CR in a CRLF pair never shifts columns. *)

@@ -1,20 +1,38 @@
 (** The churnet-lint rule catalogue.
 
-    Every rule is a pure function from a lexed source file to findings.
+    Two rule families share it:
+
+    - {e file rules} are pure functions from one lexed source file to
+      findings (the PR 3 token rules);
+    - {e project rules} consume the whole-project semantic pass — the
+      {!Lint_tree} structural parse of every unit plus the
+      {!Lint_graph} symbol index / call graph — and can therefore see
+      dataflow (prng-flow), reachability (no-io-transitive,
+      hot-path-alloc) and cross-file reference counts (dead-export).
+      Their findings may carry a {e witness}: the call path that proves
+      the claim.
+
     Rules only ever see {e code} tokens ({!Lint_lexer.lex} already
     stripped comments and string/char literals), so a banned construct
     mentioned in a comment or inside a string never fires.
 
     The catalogue guards the determinism contract of the reproduction:
-    all randomness flows through [Prng], all orderings are explicit, and
-    nothing in [lib/] writes to stdout behind the report layer's back. *)
+    all randomness flows through [Prng] streams threaded from the
+    experiment seed, all orderings are explicit, nothing in [lib/]
+    writes to stdout behind the report layer's back, and the kernel hot
+    paths stay allocation-lean. *)
 
 type finding = {
-  rule : string;  (** rule name, e.g. ["no-polymorphic-sort"] *)
+  rule : string;  (** rule name, e.g. ["prng-flow"] *)
   file : string;  (** normalized repo-relative path *)
   line : int;  (** 1-based *)
   col : int;  (** 1-based *)
   message : string;
+  witness : string list;
+      (** for graph rules: the call path supporting the finding,
+          outermost first (e.g.
+          [["Flood.expand_informed"; "Bitset.iter"]]); empty for token
+          rules *)
 }
 
 type context = {
@@ -23,10 +41,24 @@ type context = {
   has_mli : bool;  (** a sibling interface file exists for this [.ml] *)
 }
 
+type project = {
+  p_graph : Lint_graph.t;  (** index over every scanned [.ml] unit *)
+  p_interfaces : (string * Lint_lexer.t) list;
+      (** every scanned [.mli], as (path, lexed) *)
+}
+
+type check =
+  | File of (context -> finding list)  (** runs once per file *)
+  | Project of (project -> finding list)  (** runs once per lint run *)
+  | Synthetic
+      (** emitted by the engine itself (unused-pragma needs the
+          suppression machinery); listed here so the catalogue, pragmas
+          and docs stay complete *)
+
 type rule = {
   name : string;
   doc : string;  (** one-line description for [--list-rules] and JSON *)
-  check : context -> finding list;
+  check : check;
 }
 
 val all : rule list

@@ -1,0 +1,2 @@
+(* no-io-transitive: advance reaches a console writer through Printer. *)
+let advance () = Printer.shout "tick"

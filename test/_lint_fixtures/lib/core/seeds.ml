@@ -1,0 +1,3 @@
+(* prng-flow: a literal-seeded, module-level stream shared by callers. *)
+let rng = Prng.create 42
+let draw () = Prng.int rng 8

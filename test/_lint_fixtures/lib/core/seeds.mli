@@ -1,0 +1,1 @@
+(* fixture interface: intentionally empty *)

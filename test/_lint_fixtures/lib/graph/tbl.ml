@@ -1,0 +1,2 @@
+(* no-hashtbl-order: folding a Hashtbl leaks insertion history. *)
+let total t = Hashtbl.fold (fun _ v acc -> v + acc) t 0

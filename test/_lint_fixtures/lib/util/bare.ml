@@ -1,0 +1,2 @@
+(* mli-coverage: this module deliberately ships no interface file. *)
+let answer = 1

@@ -1,0 +1,2 @@
+let ok = 1
+(* bad-syntax: this comment never closes

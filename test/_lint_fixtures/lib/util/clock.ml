@@ -1,0 +1,2 @@
+(* no-wallclock: simulation code observing real time. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,1 @@
+let unused_thing = 1

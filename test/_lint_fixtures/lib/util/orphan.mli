@@ -1,0 +1,2 @@
+(* dead-export: nothing outside this module references the val. *)
+val unused_thing : int

@@ -1,0 +1,2 @@
+(* no-print-in-lib: a direct console write outside the report layer. *)
+let shout s = print_endline s

@@ -1,0 +1,2 @@
+(* lint: allow no-wallclock -- unused-pragma: nothing below reads time *)
+let calm = 1

@@ -1,0 +1,2 @@
+(* no-stdlib-random: global Random breaks seed-reproducibility. *)
+let roll () = Random.int 6

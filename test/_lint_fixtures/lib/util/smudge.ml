@@ -1,0 +1,2 @@
+(* lint: allow no-wallclock *)
+let hazy = 1

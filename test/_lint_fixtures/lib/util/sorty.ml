@@ -1,0 +1,2 @@
+(* no-polymorphic-sort: bare polymorphic compare in a sort. *)
+let sorted = List.sort compare [ 3; 1; 2 ]

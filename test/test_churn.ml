@@ -7,10 +7,10 @@ let check_bool = Alcotest.(check bool)
 let test_create_invalid () =
   Alcotest.check_raises "n <= 0"
     (Invalid_argument "Poisson_churn.create: n must be positive") (fun () ->
-      ignore (Poisson_churn.create ~n:0 ()))
+      ignore (Poisson_churn.create ~rng:(Prng.create 0xCAFE) ~n:0 ()))
 
 let test_rates () =
-  let c = Poisson_churn.create ~n:100 () in
+  let c = Poisson_churn.create ~rng:(Prng.create 0xCAFE) ~n:100 () in
   Alcotest.(check (float 1e-12)) "lambda" 1.0 (Poisson_churn.lambda c);
   Alcotest.(check (float 1e-12)) "mu" 0.01 (Poisson_churn.mu c)
 
@@ -105,7 +105,7 @@ let test_population_max_age_bound () =
 
 let test_population_invalid_args () =
   Alcotest.check_raises "bad args" (Invalid_argument "Population.simulate") (fun () ->
-      ignore (Population.simulate ~n:0 ~rounds:10 ()))
+      ignore (Population.simulate ~rng:(Prng.create 0xBEEF) ~n:0 ~rounds:10 ()))
 
 let suite =
   [
@@ -144,7 +144,7 @@ let test_lambda_parameter () =
 let test_lambda_invalid () =
   Alcotest.check_raises "lambda 0"
     (Invalid_argument "Poisson_churn.create: lambda must be positive") (fun () ->
-      ignore (Poisson_churn.create ~lambda:0. ~n:10 ()))
+      ignore (Poisson_churn.create ~rng:(Prng.create 0xCAFE) ~lambda:0. ~n:10 ()))
 
 let suite =
   suite

@@ -9,9 +9,9 @@ let check_int = Alcotest.(check int)
 
 let test_onion_validates_args () =
   Alcotest.check_raises "odd d" (Invalid_argument "Onion.run: d must be even and >= 2")
-    (fun () -> ignore (Onion.run ~n:100 ~d:3 ()));
+    (fun () -> ignore (Onion.run ~rng:(Prng.create 0x0910) ~n:100 ~d:3 ()));
   Alcotest.check_raises "tiny n" (Invalid_argument "Onion.run: n too small") (fun () ->
-      ignore (Onion.run ~n:8 ~d:4 ()))
+      ignore (Onion.run ~rng:(Prng.create 0x0910) ~n:8 ~d:4 ()))
 
 let test_onion_layers_consistent () =
   let r = Onion.run ~rng:(Prng.create 1) ~n:2000 ~d:40 () in
@@ -189,7 +189,7 @@ let suite =
 let test_onion_poisson_validates_args () =
   Alcotest.check_raises "odd d"
     (Invalid_argument "Onion.run_poisson: d must be even and >= 2") (fun () ->
-      ignore (Onion.run_poisson ~n:100 ~d:3 ()))
+      ignore (Onion.run_poisson ~rng:(Prng.create 0x0912) ~n:100 ~d:3 ()))
 
 let test_onion_poisson_layers_consistent () =
   let r = Onion.run_poisson ~rng:(Prng.create 41) ~n:2000 ~d:40 () in

@@ -135,10 +135,10 @@ let test_mean_distance_path () =
   let s = path 5 in
   (* Sum of distances over ordered reachable pairs: 2*(sum over pairs). *)
   let expected = 2. *. (4. +. 3. +. 2. +. 1. +. 3. +. 2. +. 1. +. 2. +. 1. +. 1.) /. 20. in
-  close ~eps:1e-9 "path mean distance" expected (Metrics.mean_distance ~sources:5 s)
+  close ~eps:1e-9 "path mean distance" expected (Metrics.mean_distance ~rng:(Prng.create 0x3E7) ~sources:5 s)
 
 let test_diameter_path () =
-  check_int "path diameter" 9 (Metrics.diameter_estimate ~sources:10 (path 10))
+  check_int "path diameter" 9 (Metrics.diameter_estimate ~rng:(Prng.create 0x3E7) ~sources:10 (path 10))
 
 let test_gini_regular_zero () =
   let s = clique 6 in
@@ -148,7 +148,7 @@ let test_gini_star_high () =
   check_bool "star gini high" true (Metrics.degree_gini (star 20) > 0.4)
 
 let test_fingerprint_fields () =
-  let fp = Metrics.fingerprint (clique 10) in
+  let fp = Metrics.fingerprint ~rng:(Prng.create 0xF19) (clique 10) in
   check_int "nodes" 10 fp.nodes;
   check_int "edges" 45 fp.edges;
   close "giant" 1.0 fp.giant_fraction;

@@ -160,7 +160,7 @@ let test_capped_flood_completes () =
 
 let test_capped_invalid_cap () =
   Alcotest.check_raises "cap 0" (Invalid_argument "Capped_model.create: cap must be >= 1")
-    (fun () -> ignore (Capped_model.create ~n:100 ~d:4 ~cap:0 ()))
+    (fun () -> ignore (Capped_model.create ~rng:(Prng.create 0xCA9) ~n:100 ~d:4 ~cap:0 ()))
 
 let test_capped_invariants () =
   let m = Capped_model.create ~rng:(Prng.create 15) ~n:200 ~d:5 ~cap:10 () in
@@ -202,7 +202,7 @@ let test_lazy_regen_flood () =
 let test_lazy_regen_invalid_period () =
   Alcotest.check_raises "period 0"
     (Invalid_argument "Lazy_regen_model.create: period must be positive") (fun () ->
-      ignore (Lazy_regen_model.create ~n:100 ~d:4 ~period:0. ()))
+      ignore (Lazy_regen_model.create ~rng:(Prng.create 0x1A2) ~n:100 ~d:4 ~period:0. ()))
 
 let test_lazy_regen_invariants () =
   let m = Lazy_regen_model.create ~rng:(Prng.create 24) ~n:200 ~d:4 ~period:3. () in
@@ -240,12 +240,12 @@ let test_burst_flood_survives_moderate_bursts () =
 let test_burst_invalid_args () =
   check_bool "burst_size >= n rejected" true
     (try
-       ignore (Burst_model.create ~n:100 ~d:4 ~burst_every:5 ~burst_size:100 ());
+       ignore (Burst_model.create ~rng:(Prng.create 0xB0B) ~n:100 ~d:4 ~burst_every:5 ~burst_size:100 ());
        false
      with Invalid_argument _ -> true);
   check_bool "burst_every 0 rejected" true
     (try
-       ignore (Burst_model.create ~n:100 ~d:4 ~burst_every:0 ~burst_size:5 ());
+       ignore (Burst_model.create ~rng:(Prng.create 0xB0B) ~n:100 ~d:4 ~burst_every:0 ~burst_size:5 ());
        false
      with Invalid_argument _ -> true)
 

@@ -25,10 +25,35 @@ let comments src =
 let rule name =
   List.find (fun r -> r.Lint_rules.name = name) Lint_rules.all
 
-(* Run one rule over a synthetic file at a chosen fake path. *)
+(* Run one file rule over a synthetic file at a chosen fake path. *)
 let run_rule ?(has_mli = true) name ~path src =
   let ctx = { Lint_rules.path; lex = Lint_lexer.lex src; has_mli } in
-  (rule name).Lint_rules.check ctx
+  match (rule name).Lint_rules.check with
+  | Lint_rules.File check -> check ctx
+  | Lint_rules.Project _ | Lint_rules.Synthetic ->
+      Alcotest.failf "%s is not a file rule" name
+
+(* Run one project rule over a set of synthetic (path, source) units
+   and (path, source) interfaces. *)
+let run_project_rule name ~units ~interfaces =
+  let parsed =
+    List.map
+      (fun (path, src) ->
+        let lex = Lint_lexer.lex src in
+        (path, lex, Lint_tree.parse lex))
+      units
+  in
+  let project =
+    {
+      Lint_rules.p_graph = Lint_graph.build parsed;
+      p_interfaces =
+        List.map (fun (path, src) -> (path, Lint_lexer.lex src)) interfaces;
+    }
+  in
+  match (rule name).Lint_rules.check with
+  | Lint_rules.Project check -> check project
+  | Lint_rules.File _ | Lint_rules.Synthetic ->
+      Alcotest.failf "%s is not a project rule" name
 
 let rules_fired ?has_mli name ~path src =
   List.length (run_rule ?has_mli name ~path src)
@@ -103,6 +128,43 @@ let test_token_positions () =
   check_int "col of first token" 1 (tk 0).Lint_lexer.col;
   check_int "line after newline" 2 (tk 4).Lint_lexer.line;
   check_int "col respects indent" 3 (tk 4).Lint_lexer.col
+
+let test_crlf_positions () =
+  (* CRLF line endings must produce exactly the same lines and columns
+     as LF: the \r is part of the terminator, not a column. *)
+  let unix = Lint_lexer.lex "let x = 1\nlet y = 2\n" in
+  let dos = Lint_lexer.lex "let x = 1\r\nlet y = 2\r\n" in
+  check_int "same token count" (Array.length unix.Lint_lexer.tokens)
+    (Array.length dos.Lint_lexer.tokens);
+  Array.iteri
+    (fun i (u : Lint_lexer.token) ->
+      let d = dos.Lint_lexer.tokens.(i) in
+      check_int "same line" u.Lint_lexer.line d.Lint_lexer.line;
+      check_int "same col" u.Lint_lexer.col d.Lint_lexer.col)
+    unix.Lint_lexer.tokens;
+  (* A bare \r (legacy Mac ending) still separates lines. *)
+  let mac = Lint_lexer.lex "let x = 1\rlet y = 2" in
+  check_int "bare CR counts as a newline" 2
+    mac.Lint_lexer.tokens.(4).Lint_lexer.line
+
+let test_unterminated_diagnostics () =
+  let lex = Lint_lexer.lex "let x = 1\n(* never closed" in
+  (match lex.Lint_lexer.diagnostics with
+  | [| d |] ->
+      check_int "comment diagnostic line" 2 d.Lint_lexer.d_line;
+      check_int "comment diagnostic col" 1 d.Lint_lexer.d_col
+  | other ->
+      Alcotest.failf "expected 1 diagnostic, got %d" (Array.length other));
+  let lex2 = Lint_lexer.lex "let s = \"runs off the end" in
+  (match lex2.Lint_lexer.diagnostics with
+  | [| d |] ->
+      check_int "string diagnostic line" 1 d.Lint_lexer.d_line;
+      check_int "string diagnostic col" 9 d.Lint_lexer.d_col
+  | other ->
+      Alcotest.failf "expected 1 diagnostic, got %d" (Array.length other));
+  let clean = Lint_lexer.lex "let s = \"closed\" (* fine *)" in
+  check_int "clean input has no diagnostics" 0
+    (Array.length clean.Lint_lexer.diagnostics)
 
 (* ------------------------------------------------------------------ *)
 (* Rules                                                               *)
@@ -224,6 +286,151 @@ let test_print_in_lib () =
     (rules_fired "no-print-in-lib" ~path:"lib/core/fake.ml" ok2)
 
 (* ------------------------------------------------------------------ *)
+(* Project rules: the semantic pass                                    *)
+(* ------------------------------------------------------------------ *)
+
+let finding_rules fs = List.map (fun f -> f.Lint_rules.rule) fs
+
+let test_prng_flow_literal () =
+  let src =
+    "let simulate () =\n  let rng = Prng.create 0xBAD in\n  Prng.int rng 10\n"
+  in
+  match
+    run_project_rule "prng-flow"
+      ~units:[ ("lib/core/trial.ml", src) ]
+      ~interfaces:[]
+  with
+  | [ f ] ->
+      check_int "finding on the create line" 2 f.Lint_rules.line;
+      check_strings "witness names the enclosing function"
+        [ "Trial.simulate" ] f.Lint_rules.witness
+  | other ->
+      Alcotest.failf "expected 1 prng-flow finding, got %d" (List.length other)
+
+let test_prng_flow_module_level () =
+  (* The PR 5 Gossip.run bug class: a module-level stream shared by
+     every caller.  Both the literal seed and the module-level sharing
+     must be reported, and the witness must walk from the stream to its
+     consumer. *)
+  let src =
+    "let rng = Prng.create 0x9055\nlet run () =\n  Prng.int rng 8\n"
+  in
+  let fs =
+    run_project_rule "prng-flow"
+      ~units:[ ("lib/core/gossip.ml", src) ]
+      ~interfaces:[]
+  in
+  check_int "literal + module-level findings" 2 (List.length fs);
+  let module_level =
+    List.find
+      (fun f ->
+        String.length f.Lint_rules.message > 5
+        && String.sub f.Lint_rules.message 0 6 = "module")
+      fs
+  in
+  check_strings "witness walks stream -> consumer"
+    [ "Gossip.rng"; "Gossip.run" ]
+    module_level.Lint_rules.witness
+
+let test_prng_flow_clean_threading () =
+  let src = "let simulate ~rng n =\n  Prng.int rng n\n" in
+  check_int "threaded rng is clean" 0
+    (List.length
+       (run_project_rule "prng-flow"
+          ~units:[ ("lib/core/trial.ml", src) ]
+          ~interfaces:[]));
+  (* Outside lib/ the rule does not apply (bench may pin seeds). *)
+  let bad = "let rng = Prng.create 0x1\nlet go () = Prng.int rng 2\n" in
+  check_int "bench exempt" 0
+    (List.length
+       (run_project_rule "prng-flow" ~units:[ ("bench/fake.ml", bad) ]
+          ~interfaces:[]))
+
+let test_no_io_transitive () =
+  let helper = "let log m =\n  print_endline m\n" in
+  let engine = "let advance x =\n  Helper.log x\n" in
+  let fs =
+    run_project_rule "no-io-transitive"
+      ~units:[ ("lib/core/helper.ml", helper); ("lib/core/engine.ml", engine) ]
+      ~interfaces:[]
+  in
+  match fs with
+  | [ f ] ->
+      check_bool "the transitive caller is flagged" true
+        (f.Lint_rules.file = "lib/core/engine.ml");
+      check_strings "witness reads caller -> writer"
+        [ "Engine.advance"; "Helper.log" ]
+        f.Lint_rules.witness
+  | other ->
+      Alcotest.failf "expected 1 no-io-transitive finding, got %d"
+        (List.length other)
+
+let test_no_io_transitive_report_layer_ok () =
+  (* Reaching the report layer is the sanctioned way to print. *)
+  let report = "let emit m =\n  print_endline m\n" in
+  let engine = "let advance x =\n  Report.emit x\n" in
+  check_int "report layer is not a taint root" 0
+    (List.length
+       (run_project_rule "no-io-transitive"
+          ~units:
+            [
+              ("lib/experiments/report.ml", report);
+              ("lib/core/engine.ml", engine);
+            ]
+          ~interfaces:[]))
+
+let test_hot_path_alloc () =
+  let src =
+    "let helper xs =\n  List.map succ xs\nlet pair a b =\n  (a, b)\n\
+     let expand_informed g =\n  ignore (helper g);\n  pair g g\n"
+  in
+  let fs =
+    run_project_rule "hot-path-alloc"
+      ~units:[ ("lib/core/flood.ml", src) ]
+      ~interfaces:[]
+  in
+  let rules = List.sort_uniq String.compare (finding_rules fs) in
+  check_strings "only hot-path-alloc fires" [ "hot-path-alloc" ] rules;
+  check_bool "List.map in a reachable helper flagged" true
+    (List.exists (fun f -> f.Lint_rules.line = 2) fs);
+  check_bool "tuple construction flagged" true
+    (List.exists (fun f -> f.Lint_rules.line = 4) fs);
+  check_bool "witness starts at the kernel entry" true
+    (List.for_all
+       (fun f ->
+         match f.Lint_rules.witness with
+         | first :: _ -> first = "Flood.expand_informed"
+         | [] -> false)
+       fs)
+
+let test_hot_path_alloc_unreachable_ok () =
+  (* The same allocation patterns outside the kernel cone are fine. *)
+  let src = "let report xs =\n  List.map succ xs\n" in
+  check_int "unreachable code not flagged" 0
+    (List.length
+       (run_project_rule "hot-path-alloc"
+          ~units:[ ("lib/core/flood.ml", src) ]
+          ~interfaces:[]))
+
+let test_dead_export () =
+  let thing = "let used x = x\nlet unused x = x\n" in
+  let user = "let go x =\n  Thing.used x\n" in
+  let fs =
+    run_project_rule "dead-export"
+      ~units:[ ("lib/util/thing.ml", thing); ("lib/core/user.ml", user) ]
+      ~interfaces:
+        [ ("lib/util/thing.mli", "val used : int -> int\nval unused : int -> int\n") ]
+  in
+  match fs with
+  | [ f ] ->
+      check_bool "unused export flagged in the mli" true
+        (f.Lint_rules.file = "lib/util/thing.mli");
+      check_int "at the val keyword" 2 f.Lint_rules.line
+  | other ->
+      Alcotest.failf "expected 1 dead-export finding, got %d"
+        (List.length other)
+
+(* ------------------------------------------------------------------ *)
 (* Engine: temp trees, pragmas, baseline                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,10 +468,10 @@ let in_temp_tree f =
       rm_rf root)
     f
 
-let run_engine ?baseline ?json ?(update_baseline = false) paths =
+let run_engine ?baseline ?json ?root ?(update_baseline = false) paths =
   match
     Lint_engine.run
-      { Lint_engine.paths; baseline_path = baseline; json_path = json;
+      { Lint_engine.paths; root; baseline_path = baseline; json_path = json;
         update_baseline }
   with
   | Ok outcome -> outcome
@@ -382,7 +589,7 @@ let test_json_report () =
         (Json.member "schema" doc
          |> Option.map Json.as_string
          |> Option.join
-         = Some "churnet-lint/1");
+         = Some "churnet-lint/2");
       match Json.member "findings" doc with
       | Some (Json.Arr [ f ]) ->
           check_bool "finding rule in json" true
@@ -400,6 +607,101 @@ let test_exit_codes () =
       let clean = run_engine [ "lib" ] in
       check_int "clean tree exits 0" 0 (Lint_engine.exit_code clean))
 
+let test_unused_pragma () =
+  in_temp_tree (fun () ->
+      (* A pragma above clean code suppresses nothing: stale. *)
+      write_file "lib/core/ok.ml"
+        ("(* lint: allow no-polymorphic-sort -- fixed long ago *)\n"
+        ^ "let x = 1\n");
+      write_file "lib/core/ok.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      (match outcome.Lint_engine.findings with
+      | [ f ] ->
+          check_bool "unused-pragma reported" true
+            (f.Lint_rules.rule = "unused-pragma");
+          check_int "at the pragma line" 1 f.Lint_rules.line
+      | other ->
+          Alcotest.failf "expected 1 finding, got %d" (List.length other));
+      (* The same pragma above an actual finding earns its keep. *)
+      write_file "lib/core/ok.ml"
+        ("(* lint: allow no-polymorphic-sort -- ints, order irrelevant *)\n"
+        ^ "let () = Array.sort compare [| 2; 1 |]\n");
+      let outcome = run_engine [ "lib" ] in
+      check_int "pragma that suppresses is not stale" 0
+        (List.length outcome.Lint_engine.findings))
+
+let test_unused_pragma_in_mli () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/ok.ml" "let x = 1\n";
+      write_file "lib/core/ok.mli"
+        "(* lint: allow dead-export -- reserved for callers *)\nval x : int\n";
+      let outcome = run_engine [ "lib" ] in
+      (* x IS dead (nothing references it), so the pragma suppresses a
+         real finding and must not be reported as stale. *)
+      check_int "mli pragma suppresses dead-export" 0
+        (List.length outcome.Lint_engine.findings);
+      check_int "counted as suppressed" 1 outcome.Lint_engine.suppressed)
+
+let test_bad_syntax () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/broken.ml" "let x = 1\n(* never closed\n";
+      write_file "lib/core/broken.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      match outcome.Lint_engine.findings with
+      | [ f ] ->
+          check_bool "bad-syntax reported" true
+            (f.Lint_rules.rule = "bad-syntax");
+          check_int "positioned at the opener" 2 f.Lint_rules.line;
+          check_int "exit 1" 1 (Lint_engine.exit_code outcome)
+      | other ->
+          Alcotest.failf "expected 1 finding, got %d" (List.length other))
+
+let test_root_flag () =
+  in_temp_tree (fun () ->
+      (* The tree lives under fixture/, not the cwd; --root makes paths
+         inside it resolve as repo-relative (lib/...), so lib-only rules
+         apply to the fixture's own lib/. *)
+      write_file "fixture/lib/core/bad.ml" bad_sort_ml;
+      write_file "fixture/lib/core/bad.mli" "";
+      let outcome = run_engine ~root:"fixture" [ "lib" ] in
+      match outcome.Lint_engine.findings with
+      | [ f ] ->
+          check_bool "findings reported root-relative" true
+            (f.Lint_rules.file = "lib/core/bad.ml")
+      | other ->
+          Alcotest.failf "expected 1 finding, got %d" (List.length other))
+
+let test_to_json_witness_and_doc () =
+  in_temp_tree (fun () ->
+      write_file "lib/core/gossip.ml"
+        "let rng = Prng.create 0x9055\nlet run () =\n  Prng.int rng 8\n";
+      write_file "lib/core/gossip.mli" "";
+      let outcome = run_engine [ "lib" ] in
+      let doc = Lint_engine.to_json outcome in
+      check_bool "schema is churnet-lint/2" true
+        (Json.member "schema" doc
+         |> Option.map Json.as_string
+         |> Option.join
+        = Some "churnet-lint/2");
+      match Json.member "findings" doc with
+      | Some (Json.Arr fs) ->
+          check_bool "at least one finding serialized" true (fs <> []);
+          List.iter
+            (fun f ->
+              check_bool "every finding carries its rule doc" true
+                (match Json.member "doc" f with
+                | Some (Json.String s) -> String.length s > 0
+                | _ -> false))
+            fs;
+          check_bool "some finding carries a witness path" true
+            (List.exists
+               (fun f ->
+                 match Json.member "witness" f with
+                 | Some (Json.Arr (_ :: _)) -> true
+                 | _ -> false)
+               fs)
+      | _ -> Alcotest.fail "expected findings array in json")
+
 let suite =
   [
     ("lexer: nested comments", `Quick, test_nested_comments);
@@ -411,6 +713,8 @@ let suite =
       `Quick,
       test_comment_with_string_containing_closer );
     ("lexer: token positions", `Quick, test_token_positions);
+    ("lexer: crlf positions", `Quick, test_crlf_positions);
+    ("lexer: unterminated diagnostics", `Quick, test_unterminated_diagnostics);
     ("rule: polymorphic sort detected", `Quick, test_polymorphic_sort_detected);
     ("rule: clean code passes", `Quick, test_polymorphic_sort_clean_code);
     ("rule: stdlib random", `Quick, test_stdlib_random);
@@ -419,6 +723,16 @@ let suite =
     ("rule: wallclock", `Quick, test_wallclock);
     ("rule: mli coverage", `Quick, test_mli_coverage);
     ("rule: print in lib", `Quick, test_print_in_lib);
+    ("rule: prng-flow literal", `Quick, test_prng_flow_literal);
+    ("rule: prng-flow module-level", `Quick, test_prng_flow_module_level);
+    ("rule: prng-flow clean threading", `Quick, test_prng_flow_clean_threading);
+    ("rule: no-io-transitive", `Quick, test_no_io_transitive);
+    ( "rule: no-io-transitive report layer",
+      `Quick,
+      test_no_io_transitive_report_layer_ok );
+    ("rule: hot-path-alloc", `Quick, test_hot_path_alloc);
+    ("rule: hot-path-alloc unreachable", `Quick, test_hot_path_alloc_unreachable_ok);
+    ("rule: dead-export", `Quick, test_dead_export);
     ("engine: finds and locates", `Quick, test_engine_finds_and_sorts);
     ("engine: pragma suppression", `Quick, test_pragma_suppression);
     ("engine: allow-file pragma", `Quick, test_pragma_allow_file);
@@ -427,4 +741,9 @@ let suite =
     ("engine: baseline roundtrip", `Quick, test_baseline_roundtrip);
     ("engine: json report", `Quick, test_json_report);
     ("engine: exit codes", `Quick, test_exit_codes);
+    ("engine: unused pragma", `Quick, test_unused_pragma);
+    ("engine: mli pragma", `Quick, test_unused_pragma_in_mli);
+    ("engine: bad syntax", `Quick, test_bad_syntax);
+    ("engine: root flag", `Quick, test_root_flag);
+    ("engine: json witness and doc", `Quick, test_to_json_witness_and_doc);
   ]

@@ -9,6 +9,7 @@ let () =
       ("codec", Test_codec.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("lint", Test_lint.suite);
+      ("lint-properties", Test_lint_properties.suite);
       ("graph", Test_graph.suite);
       ("churn", Test_churn.suite);
       ("models", Test_models.suite);
@@ -19,6 +20,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("bounds", Test_bounds.suite);
       ("event-log", Test_event_log.suite);
+      ("api-surface", Test_api_surface.suite);
       ("experiments", Test_experiments.suite);
       ("differential", Test_differential.suite);
       ("byte-equality", Test_byte_equality.suite);

@@ -93,7 +93,7 @@ let test_streaming_invariants_after_warmup () =
 let test_streaming_create_invalid () =
   Alcotest.check_raises "n too small"
     (Invalid_argument "Streaming_model.create: n must be >= 2") (fun () ->
-      ignore (Streaming_model.create ~n:1 ~d:2 ~regenerate:false ()))
+      ignore (Streaming_model.create ~rng:(Prng.create 0x5eed) ~n:1 ~d:2 ~regenerate:false ()))
 
 (* --- Poisson model --- *)
 
