@@ -607,6 +607,135 @@ let measure_flood_hop ~seed ~scale =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Measurement: batched churn (decide_batch + churn_batch vs per-jump). *)
+(* ------------------------------------------------------------------ *)
+
+module Poisson_model = Churnet_core.Poisson_model
+module Codec = Churnet_util.Codec
+module Stream_stats = Churnet_graph.Stream_stats
+module Snapshot = Churnet_graph.Snapshot
+module Metrics = Churnet_graph.Metrics
+
+type batched_metrics = {
+  bjumps : int;
+  batched_old_dt : float;
+  batched_new_dt : float;
+  batched_old_words : float;
+  batched_new_words : float;
+}
+
+let batched_n = 10_000
+let batched_d = 3
+
+let batched_jumps scale =
+  Scale.pick scale ~smoke:50_000 ~standard:200_000 ~full:600_000 ~xl:2_000_000
+
+let encoded_model m =
+  let w = Codec.writer () in
+  Poisson_model.encode w m;
+  Codec.contents w
+
+(* Old side: the per-jump runner ([step] in a loop).  New side: the
+   batched runner (bulk [decide_batch] draws applied through
+   [Dyngraph.churn_batch]).  Both sides run equal-seeded PDGR models, so
+   after the measured runs the full checkpoint encodings — topology, both
+   PRNG streams, clock, pending jump — must be byte-equal; anything less
+   and the timings are meaningless. *)
+let measure_churn_batched ~seed ~scale =
+  let jumps = batched_jumps scale in
+  let mk () =
+    Poisson_model.create
+      ~rng:(Prng.create (seed lxor 0xba7c4))
+      ~n:batched_n ~d:batched_d ~regenerate:true ()
+  in
+  let old_m = mk () and new_m = mk () in
+  (* Untimed warm-up, each side through its own path: the state-identity
+     check below then covers the warm-up too. *)
+  Poisson_model.warm_up old_m;
+  Poisson_model.warm_up_batched new_m;
+  let batched_old_dt, batched_old_words =
+    timed_with_words (fun () -> Poisson_model.run_rounds old_m jumps)
+  in
+  let batched_new_dt, batched_new_words =
+    timed_with_words (fun () -> Poisson_model.run_rounds_batched new_m jumps)
+  in
+  if encoded_model old_m <> encoded_model new_m then
+    failwith "bench: batched and per-jump churn diverged (encodings differ)";
+  { bjumps = jumps; batched_old_dt; batched_new_dt; batched_old_words; batched_new_words }
+
+(* ------------------------------------------------------------------ *)
+(* Measurement: streaming snapshot statistics (arena pass vs CSR).      *)
+(* ------------------------------------------------------------------ *)
+
+type stream_metrics = {
+  stat_reps : int;
+  stream_old_dt : float;
+  stream_new_dt : float;
+  stream_old_words : float;
+  stream_new_words : float;
+  stat_sink : int; (* anti-DCE witness: summed isolated counts *)
+}
+
+let stream_reps scale = Scale.pick scale ~smoke:30 ~standard:150 ~full:500 ~xl:500
+
+(* Old side: what the experiment cells did before — materialize the CSR
+   snapshot, then derive histogram, gini, mean/max degree and the
+   isolated count from it.  New side: [Stream_stats.collect], one
+   row-local pass over the arena.  Equality of every statistic (floats
+   bitwise) is asserted before any timing is trusted. *)
+let measure_stream_stats ~seed ~scale =
+  let reps = stream_reps scale in
+  let m =
+    Poisson_model.create
+      ~rng:(Prng.create (seed lxor 0x57a75))
+      ~n:core_n ~d:batched_d ~regenerate:false ()
+  in
+  Poisson_model.warm_up_batched m;
+  let g = Poisson_model.graph m in
+  let old_stats () =
+    let s = Poisson_model.snapshot m in
+    ( Snapshot.n s,
+      List.length (Snapshot.isolated s),
+      Snapshot.max_degree s,
+      Snapshot.mean_degree s,
+      Snapshot.degree_histogram s,
+      Metrics.degree_gini s )
+  in
+  let pop, iso, maxd, mean, hist, gini = old_stats () in
+  let st = Stream_stats.collect g in
+  if
+    st.Stream_stats.population <> pop
+    || st.Stream_stats.isolated <> iso
+    || st.Stream_stats.max_degree <> maxd
+    || Int64.bits_of_float st.Stream_stats.mean_degree <> Int64.bits_of_float mean
+    || st.Stream_stats.degree_histogram <> hist
+    || Int64.bits_of_float st.Stream_stats.degree_gini <> Int64.bits_of_float gini
+  then failwith "bench: streaming and CSR snapshot statistics diverged";
+  let sink = ref 0 in
+  let stream_old_dt, stream_old_words =
+    timed_with_words (fun () ->
+        for _ = 1 to reps do
+          let _, iso, _, _, _, _ = old_stats () in
+          sink := !sink + iso
+        done)
+  in
+  let stream_new_dt, stream_new_words =
+    timed_with_words (fun () ->
+        for _ = 1 to reps do
+          let st = Stream_stats.collect g in
+          sink := !sink + st.Stream_stats.isolated
+        done)
+  in
+  {
+    stat_reps = reps;
+    stream_old_dt;
+    stream_new_dt;
+    stream_old_words;
+    stream_new_words;
+    stat_sink = !sink;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Derived metric values, shared between kernels.exe and compare.exe.  *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,3 +746,7 @@ let per_scan_us s dt = dt *. 1e6 /. float_of_int s.scans
 
 let per_hop_ns f dt = dt *. 1e9 /. float_of_int f.total_hops
 let words_per_hop f w = w /. float_of_int f.total_hops
+
+let per_bjump_ns b dt = dt *. 1e9 /. float_of_int b.bjumps
+let words_per_bjump b w = w /. float_of_int b.bjumps
+let per_stat_us s dt = dt *. 1e6 /. float_of_int s.stat_reps

@@ -29,8 +29,8 @@
    CHURNET_COMPARE_REPEATS overrides the repeat count;
    CHURNET_COMPARE_HANDICAP="churn=2.0,flood_hop=1.5" multiplies the
    new-side measured time of the named kernel groups (churn, snapshot,
-   flood_hop, bitset_scan) — a synthetic slowdown used by CI to prove
-   the gate actually fails. *)
+   flood_hop, bitset_scan, churn_batched, stream_stats) — a synthetic
+   slowdown used by CI to prove the gate actually fails. *)
 
 module Scale = Churnet_experiments.Scale
 module Json = Churnet_util.Json
@@ -67,7 +67,8 @@ let repeats =
 (* Synthetic handicap (CI self-test).                                  *)
 (* ------------------------------------------------------------------ *)
 
-let handicap_groups = [ "churn"; "snapshot"; "flood_hop"; "bitset_scan" ]
+let handicap_groups =
+  [ "churn"; "snapshot"; "flood_hop"; "bitset_scan"; "churn_batched"; "stream_stats" ]
 
 let handicaps =
   match Sys.getenv_opt "CHURNET_COMPARE_HANDICAP" with
@@ -124,71 +125,110 @@ let measure () =
       let c = Refs.measure_graph_core ~seed ~scale in
       let s = Refs.measure_bitset_scan ~seed ~scale in
       let f = Refs.measure_flood_hop ~seed ~scale in
-      (c, s, f))
+      let b = Refs.measure_churn_batched ~seed ~scale in
+      let st = Refs.measure_stream_stats ~seed ~scale in
+      (c, s, f, b, st))
   in
   let med proj = median (List.map proj samples) in
   let churn_h = handicap "churn" and snap_h = handicap "snapshot" in
   let flood_h = handicap "flood_hop" and scan_h = handicap "bitset_scan" in
+  let batch_h = handicap "churn_batched" and stream_h = handicap "stream_stats" in
   [
     {
       name = "churn_speedup";
       direction = Higher;
       default_tolerance = Some 0.35;
-      value = med (fun (c, _, _) -> c.Refs.churn_old_dt /. (c.Refs.churn_new_dt *. churn_h));
+      value = med (fun (c, _, _, _, _) -> c.Refs.churn_old_dt /. (c.Refs.churn_new_dt *. churn_h));
     };
     {
       name = "snapshot_speedup";
       direction = Higher;
       default_tolerance = Some 0.35;
-      value = med (fun (c, _, _) -> c.Refs.snap_old_dt /. (c.Refs.snap_new_dt *. snap_h));
+      value = med (fun (c, _, _, _, _) -> c.Refs.snap_old_dt /. (c.Refs.snap_new_dt *. snap_h));
     };
     {
       name = "bitset_scan_speedup";
       direction = Higher;
       default_tolerance = Some 0.35;
-      value = med (fun (_, s, _) -> s.Refs.scan_old_dt /. (s.Refs.scan_new_dt *. scan_h));
+      value = med (fun (_, s, _, _, _) -> s.Refs.scan_old_dt /. (s.Refs.scan_new_dt *. scan_h));
     };
     {
       name = "flood_hop_speedup";
       direction = Higher;
       default_tolerance = Some 0.35;
-      value = med (fun (_, _, f) -> f.Refs.flood_old_dt /. (f.Refs.flood_new_dt *. flood_h));
+      value = med (fun (_, _, f, _, _) -> f.Refs.flood_old_dt /. (f.Refs.flood_new_dt *. flood_h));
     };
     {
       name = "churn_words_per_jump";
       direction = Lower;
       default_tolerance = Some 0.02;
-      value = med (fun (c, _, _) -> Refs.words_per_jump c c.Refs.churn_new_words);
+      value = med (fun (c, _, _, _, _) -> Refs.words_per_jump c c.Refs.churn_new_words);
     };
     {
       name = "flood_words_per_hop";
       direction = Lower;
       default_tolerance = Some 0.02;
-      value = med (fun (_, _, f) -> Refs.words_per_hop f f.Refs.flood_new_words);
+      value = med (fun (_, _, f, _, _) -> Refs.words_per_hop f f.Refs.flood_new_words);
+    };
+    {
+      name = "churn_batched_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value =
+        med (fun (_, _, _, b, _) ->
+            b.Refs.batched_old_dt /. (b.Refs.batched_new_dt *. batch_h));
+    };
+    {
+      name = "stream_stats_speedup";
+      direction = Higher;
+      default_tolerance = Some 0.35;
+      value =
+        med (fun (_, _, _, _, st) ->
+            st.Refs.stream_old_dt /. (st.Refs.stream_new_dt *. stream_h));
+    };
+    {
+      name = "churn_batched_words_per_jump";
+      direction = Lower;
+      default_tolerance = Some 0.02;
+      value = med (fun (_, _, _, b, _) -> Refs.words_per_bjump b b.Refs.batched_new_words);
     };
     {
       name = "churn_jump_new_ns";
       direction = Lower;
       default_tolerance = None;
-      value = med (fun (c, _, _) -> Refs.per_jump_ns c (c.Refs.churn_new_dt *. churn_h));
+      value = med (fun (c, _, _, _, _) -> Refs.per_jump_ns c (c.Refs.churn_new_dt *. churn_h));
     };
     {
       name = "snapshot_new_us";
       direction = Lower;
       default_tolerance = None;
-      value = med (fun (c, _, _) -> Refs.per_build_us c (c.Refs.snap_new_dt *. snap_h));
+      value = med (fun (c, _, _, _, _) -> Refs.per_build_us c (c.Refs.snap_new_dt *. snap_h));
     };
     {
       name = "bitset_scan_new_us";
       direction = Lower;
       default_tolerance = None;
-      value = med (fun (_, s, _) -> Refs.per_scan_us s (s.Refs.scan_new_dt *. scan_h));
+      value = med (fun (_, s, _, _, _) -> Refs.per_scan_us s (s.Refs.scan_new_dt *. scan_h));
     };
     {
       name = "flood_hop_new_ns";
       direction = Lower;
       default_tolerance = None;
-      value = med (fun (_, _, f) -> Refs.per_hop_ns f (f.Refs.flood_new_dt *. flood_h));
+      value = med (fun (_, _, f, _, _) -> Refs.per_hop_ns f (f.Refs.flood_new_dt *. flood_h));
+    };
+    {
+      name = "churn_batched_new_ns";
+      direction = Lower;
+      default_tolerance = None;
+      value =
+        med (fun (_, _, _, b, _) -> Refs.per_bjump_ns b (b.Refs.batched_new_dt *. batch_h));
+    };
+    {
+      name = "stream_stats_new_us";
+      direction = Lower;
+      default_tolerance = None;
+      value =
+        med (fun (_, _, _, _, st) -> Refs.per_stat_us st (st.Refs.stream_new_dt *. stream_h));
     };
   ]
 
@@ -221,6 +261,10 @@ let write_baseline path metrics =
                     ("scan_reps", Json.Int (Refs.scan_reps scale));
                     ("flood_d", Json.Int Refs.flood_d);
                     ("flood_reps", Json.Int (Refs.flood_reps scale));
+                    ("batched_n", Json.Int Refs.batched_n);
+                    ("batched_d", Json.Int Refs.batched_d);
+                    ("batched_jumps", Json.Int (Refs.batched_jumps scale));
+                    ("stream_reps", Json.Int (Refs.stream_reps scale));
                   ] );
             ] );
         ( "metrics",

@@ -22,7 +22,15 @@
    byte-at-a-time scan it replaced, and the frontier flooding driver
    ([Flood.expand_informed_frontier]) against full-rescan hops.
 
-   Parts 3 and 4 write their numbers to KERNELS_<seed>_<scale>.json
+   Part 5 (wall clock + GC): the XL-tier kernels — the batched churn
+   runner ([Poisson_model.run_rounds_batched]) against the per-jump
+   [step] loop, checked byte-identical through the checkpoint encoding,
+   and the streaming snapshot statistics ([Stream_stats.collect])
+   against the materialize-CSR-then-derive path, checked field-equal
+   (floats bitwise).  The process's peak RSS (VmHWM) is reported next to
+   the timings.
+
+   Parts 3-5 write their numbers to KERNELS_<seed>_<scale>.json
    (override with CHURNET_KERNELS_JSON); [compare.exe] measures the same
    kernels through the same [Bench_refs] harness and gates them against
    the blessed baselines in bench/baseline/.
@@ -232,9 +240,45 @@ let run_flood_kernels () =
   Printf.printf "  flood-hop speedup: %.2fx\n" speedup;
   f
 
-let write_json c s f =
-  let doc =
-    Json.Obj
+let run_batched_kernels () =
+  print_newline ();
+  print_endline
+    "==================== BATCHED CHURN (bulk draws vs per-jump) ====================";
+  let b = Refs.measure_churn_batched ~seed ~scale in
+  Printf.printf "PDGR n=%d d=%d, %d churn jumps/side\n%!" Refs.batched_n Refs.batched_d
+    b.Refs.bjumps;
+  print_endline "  batched and per-jump models byte-identical (checkpoint encoding): OK";
+  let speedup = b.Refs.batched_old_dt /. b.Refs.batched_new_dt in
+  Printf.printf "  churn old (per-jump step):  %8.0f ns/jump, %7.1f words/jump\n"
+    (Refs.per_bjump_ns b b.Refs.batched_old_dt)
+    (Refs.words_per_bjump b b.Refs.batched_old_words);
+  Printf.printf "  churn new (batched draws):  %8.0f ns/jump, %7.1f words/jump\n"
+    (Refs.per_bjump_ns b b.Refs.batched_new_dt)
+    (Refs.words_per_bjump b b.Refs.batched_new_words);
+  Printf.printf "  batched-churn speedup: %.2fx\n" speedup;
+  b
+
+let run_stream_kernels () =
+  print_newline ();
+  print_endline
+    "==================== STREAM STATS (arena pass vs CSR) ====================";
+  let st = Refs.measure_stream_stats ~seed ~scale in
+  Printf.printf "PDG n=%d d=%d, %d statistics passes/side\n%!" Refs.core_n Refs.batched_d
+    st.Refs.stat_reps;
+  print_endline "  streaming and CSR statistics field-identical (floats bitwise): OK";
+  let speedup = st.Refs.stream_old_dt /. st.Refs.stream_new_dt in
+  Printf.printf "  stats old (CSR snapshot + derive): %8.1f us/pass, %9.1f words/pass\n"
+    (Refs.per_stat_us st st.Refs.stream_old_dt)
+    (st.Refs.stream_old_words /. float_of_int st.Refs.stat_reps);
+  Printf.printf "  stats new (streaming collect):     %8.1f us/pass, %9.1f words/pass\n"
+    (Refs.per_stat_us st st.Refs.stream_new_dt)
+    (st.Refs.stream_new_words /. float_of_int st.Refs.stat_reps);
+  Printf.printf "  stream-stats speedup: %.2fx  (isolated-count checksum: %d)\n" speedup
+    st.Refs.stat_sink;
+  st
+
+let write_json c s f b st =
+  let fields =
       [
         ("schema", Json.String "churnet-kernels/1");
         ("seed", Json.Int seed);
@@ -296,8 +340,43 @@ let write_json c s f =
                 Json.of_finite (Refs.words_per_hop f f.Refs.flood_new_words) );
               ("informed_sets_identical", Json.Bool true);
             ] );
+        ( "churn_batched",
+          Json.Obj
+            [
+              ("n", Json.Int Refs.batched_n);
+              ("d", Json.Int Refs.batched_d);
+              ("jumps", Json.Int b.Refs.bjumps);
+              ("old_ns_per_jump", Json.of_finite (Refs.per_bjump_ns b b.Refs.batched_old_dt));
+              ("new_ns_per_jump", Json.of_finite (Refs.per_bjump_ns b b.Refs.batched_new_dt));
+              ("speedup", Json.of_finite (b.Refs.batched_old_dt /. b.Refs.batched_new_dt));
+              ( "old_words_per_jump",
+                Json.of_finite (Refs.words_per_bjump b b.Refs.batched_old_words) );
+              ( "new_words_per_jump",
+                Json.of_finite (Refs.words_per_bjump b b.Refs.batched_new_words) );
+              ("state_identical", Json.Bool true);
+            ] );
+        ( "stream_stats",
+          Json.Obj
+            [
+              ("n", Json.Int Refs.core_n);
+              ("d", Json.Int Refs.batched_d);
+              ("reps", Json.Int st.Refs.stat_reps);
+              ("old_us_per_stat", Json.of_finite (Refs.per_stat_us st st.Refs.stream_old_dt));
+              ("new_us_per_stat", Json.of_finite (Refs.per_stat_us st st.Refs.stream_new_dt));
+              ("speedup", Json.of_finite (st.Refs.stream_old_dt /. st.Refs.stream_new_dt));
+              ( "old_words_per_stat",
+                Json.of_finite (st.Refs.stream_old_words /. float_of_int st.Refs.stat_reps) );
+              ( "new_words_per_stat",
+                Json.of_finite (st.Refs.stream_new_words /. float_of_int st.Refs.stat_reps) );
+              ("stats_identical", Json.Bool true);
+            ] );
       ]
+      @
+      match Churnet_experiments.Telemetry.peak_rss_kb () with
+      | Some kb -> [ ("peak_rss_kb", Json.Int kb) ]
+      | None -> []
   in
+  let doc = Json.Obj fields in
   Json.write_file ~pretty:true kernels_json_path doc;
   Printf.printf "  wrote %s\n" kernels_json_path
 
@@ -307,4 +386,6 @@ let () =
   let c = run_graph_core () in
   let s = run_scan_kernels () in
   let f = run_flood_kernels () in
-  write_json c s f
+  let b = run_batched_kernels () in
+  let st = run_stream_kernels () in
+  write_json c s f b st

@@ -154,11 +154,15 @@ let finish_journal = function
         s.Checkpoint.write_seconds
 
 let scale_arg =
-  let doc = "Effort level: smoke, standard or full." in
+  let doc = "Effort level: smoke, standard, full or xl." in
   let parse s =
     match Scale.of_string s with
     | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scale %S (valid: %s)" s
+               (String.concat ", " Scale.names)))
   in
   let print fmt v = Format.pp_print_string fmt (Scale.to_string v) in
   Arg.(

@@ -37,6 +37,47 @@ let decide t ~alive =
     (Death, dt)
   end
 
+(* Bulk version of [decide].  The churn PRNG is independent of the graph
+   PRNG (the model splits them at creation), so a whole run of jumps can
+   be drawn here before any of them touches the graph: the draw sequence
+   on [t.rng] is exactly the one the equivalent [decide] loop would
+   produce, with the population tracked incrementally (+1 per birth, -1
+   per death — a death is impossible at population 0 because the birth
+   branch short-circuits without consuming a Bernoulli draw, just as in
+   [decide]). *)
+let decide_batch t ~alive ~deadline ~limit ~decisions ~dts =
+  if alive < 0 then invalid_arg "Poisson_churn.decide_batch: negative population";
+  let cap = min limit (min (Bytes.length decisions) (Array.length dts)) in
+  let alive = ref alive in
+  let count = ref 0 in
+  let pending = ref None in
+  let continue = ref (cap > 0) in
+  while !continue do
+    let total_rate = (float_of_int !alive *. t.mu) +. t.lambda in
+    let dt = Dist.exponential t.rng total_rate in
+    t.time <- t.time +. dt;
+    t.round <- t.round + 1;
+    let p_birth = t.lambda /. total_rate in
+    let birth = !alive = 0 || Prng.bernoulli t.rng p_birth in
+    if birth then t.births <- t.births + 1 else t.deaths <- t.deaths + 1;
+    (* [t.time] here equals the caller's clock plus this jump's [dt] (both
+       accumulate the same dts by the same additions in the same order),
+       so this comparison is bitwise the one [Poisson_model.run_until_time]
+       makes before executing a pre-drawn jump. *)
+    if t.time > deadline then begin
+      pending := Some ((if birth then Birth else Death), dt);
+      continue := false
+    end
+    else begin
+      Bytes.set decisions !count (if birth then '\000' else '\001');
+      dts.(!count) <- dt;
+      alive := if birth then !alive + 1 else !alive - 1;
+      incr count;
+      if !count >= cap then continue := false
+    end
+  done;
+  (!count, !pending)
+
 let time t = t.time
 let round t = t.round
 let births t = t.births

@@ -28,8 +28,30 @@ val decide : t -> alive:int -> decision * float
     dt ~ Exp(alive * mu + lambda).  When [alive = 0] the only possible
     event is a birth. *)
 
+val decide_batch :
+  t ->
+  alive:int ->
+  deadline:float ->
+  limit:int ->
+  decisions:Bytes.t ->
+  dts:float array ->
+  int * (decision * float) option
+(** [decide_batch t ~alive ~deadline ~limit ~decisions ~dts] draws up to
+    [limit] consecutive jumps in one call, writing jump [i]'s type into
+    [Bytes.get decisions i] (['\000'] = birth, ['\001'] = death) and its
+    elapsed time into [dts.(i)].  The population starts at [alive] and is
+    tracked incrementally across the batch, so the PRNG draw sequence is
+    byte-identical to calling [decide] once per jump with the graph
+    updated in between.  Returns [(count, pending)]: [count] jumps were
+    stored, and if the jump after them would cross [deadline] it is
+    returned as [pending] instead of stored — its rates were already
+    drawn from the PRNG, so the caller must treat it as state exactly
+    like the per-jump pre-drawn jump.  [count] is also bounded by the
+    capacity of [decisions] and [dts]. *)
+
 val time : t -> float
-(** Total continuous time elapsed over all [decide] calls. *)
+(** Total continuous time elapsed over all [decide] / [decide_batch]
+    draws (including a returned pending jump). *)
 
 val round : t -> int
 (** Number of jumps so far (the index r of T_r). *)

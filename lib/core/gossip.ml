@@ -36,10 +36,7 @@ let plant_source model =
       until_birth ();
       (match Poisson_model.newest m with Some s -> s | None -> assert false)
 
-let advance_one_round model =
-  match model with
-  | Models.Streaming m -> Streaming_model.step m
-  | Models.Poisson m -> Poisson_model.run_until_time m (Poisson_model.time m +. 1.0)
+let advance_one_round model = Models.advance_batch model 1
 
 let newest_of model =
   match model with

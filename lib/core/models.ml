@@ -50,6 +50,16 @@ let advance t k =
   | Streaming m -> Streaming_model.run m k
   | Poisson m -> Poisson_model.run_until_time m (Poisson_model.time m +. float_of_int k)
 
+let advance_batch t k =
+  match t with
+  | Streaming m -> Streaming_model.run m k
+  | Poisson m ->
+      Poisson_model.run_until_time_batched m (Poisson_model.time m +. float_of_int k)
+
+let warm_up_batch = function
+  | Streaming m -> Streaming_model.warm_up m
+  | Poisson m -> Poisson_model.warm_up_batched m
+
 let flood ?max_rounds t =
   match t with
   | Streaming m -> Flood.run_streaming ?max_rounds m

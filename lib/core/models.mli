@@ -33,6 +33,17 @@ val advance : t -> int -> unit
     Poisson models (so one unit of [advance] is one expected birth in
     both time scales, matching the paper's normalization lambda = 1). *)
 
+val advance_batch : t -> int -> unit
+(** Same contract — and byte-identical resulting state — as {!advance},
+    but Poisson models take the batched hot path
+    ({!Poisson_model.run_until_time_batched}): a whole run of jumps is
+    pre-drawn from the churn PRNG and applied in one arena pass.
+    Streaming models already advance round-at-a-time and are unchanged.
+    Preferred at XL scale. *)
+
+val warm_up_batch : t -> unit
+(** {!warm_up} through the batched path (byte-identical final state). *)
+
 val flood : ?max_rounds:int -> t -> Flood.trace
 (** Flooding in the model's native semantics: synchronous (Def 3.3) for
     streaming, discretized (Def 4.3) for Poisson. *)

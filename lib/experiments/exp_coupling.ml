@@ -26,7 +26,7 @@ let f13 ~seed ~scale =
     let acc = Stats.Acc.create () in
     for _ = 1 to trials do
       let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
-      Models.warm_up m;
+      Models.warm_up_batch m;
       let snap = Models.snapshot m in
       let isolated = List.length (Churnet_graph.Snapshot.isolated snap) in
       Stats.Acc.add acc
@@ -39,7 +39,7 @@ let f13 ~seed ~scale =
     let acc = Stats.Acc.create () in
     for _ = 1 to trials do
       let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
-      Models.warm_up m;
+      Models.warm_up_batch m;
       let tr =
         Models.flood ~max_rounds:(int_of_float (6. *. log (float_of_int n)) + 20) m
       in
@@ -52,7 +52,7 @@ let f13 ~seed ~scale =
     let acc = Stats.Acc.create () in
     for _ = 1 to trials do
       let m = Models.create ~rng:(Prng.split rng) kind ~n ~d in
-      Models.warm_up m;
+      Models.warm_up_batch m;
       let tr =
         Models.flood ~max_rounds:(int_of_float (20. *. log (float_of_int n)) + 40) m
       in
@@ -106,7 +106,7 @@ let r1 ~seed ~scale =
     Churnet_util.Parallel.map
       (fun trial_rng ->
         let m = Models.create ~rng:(Prng.split trial_rng) Models.SDGR ~n ~d:14 in
-        Models.warm_up m;
+        Models.warm_up_batch m;
         let probe =
           Probe.probe ~rng:(Prng.split trial_rng) ~samples_per_size:4
             (Models.snapshot m)
@@ -114,10 +114,10 @@ let r1 ~seed ~scale =
         let exp_ok = probe.min_expansion >= 0.1 in
         let budget = int_of_float (10. *. log (float_of_int n)) + 30 in
         let m2 = Models.create ~rng:(Prng.split trial_rng) Models.SDGR ~n ~d:21 in
-        Models.warm_up m2;
+        Models.warm_up_batch m2;
         let sdgr_done = (Models.flood ~max_rounds:budget m2).Flood.completed in
         let m3 = Models.create ~rng:(Prng.split trial_rng) Models.PDGR ~n ~d:35 in
-        Models.warm_up m3;
+        Models.warm_up_batch m3;
         let pdgr_done = (Models.flood ~max_rounds:budget m3).Flood.completed in
         (exp_ok, sdgr_done, pdgr_done))
       trial_rngs

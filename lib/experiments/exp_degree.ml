@@ -31,7 +31,7 @@ let f4 ~seed ~scale =
     Churnet_util.Parallel.map
       (fun (kind, n, rng) ->
         let m = Models.create ~rng kind ~n ~d in
-        Models.warm_up m;
+        Models.warm_up_batch m;
         Models.snapshot m)
       (Array.of_list (List.rev !jobs))
   in
@@ -61,7 +61,7 @@ let f4 ~seed ~scale =
   (* Degree histogram at the largest n. *)
   let n = List.nth ns (List.length ns - 1) in
   let m = Models.create ~rng:(Prng.split rng) Models.SDGR ~n ~d in
-  Models.warm_up m;
+  Models.warm_up_batch m;
   let s = Models.snapshot m in
   let hist = Snapshot.degree_histogram s in
   let hist_table = Table.create [ "degree"; "count" ] in

@@ -10,7 +10,7 @@ module Snapshot = Churnet_graph.Snapshot
 
 let snapshot_of kind ~rng ~n ~d =
   let m = Models.create ~rng kind ~n ~d in
-  Models.warm_up m;
+  Models.warm_up_batch m;
   Models.snapshot m
 
 (* Shared engine: probe min expansion over [min_size, n/2] across several

@@ -110,7 +110,7 @@ let x2 ~seed ~scale =
                    gossip choices are independent of its churn draws. *)
                 let grng = Prng.split rng in
                 let m = Models.create ~rng kind ~n ~d in
-                Models.warm_up m;
+                Models.warm_up_batch m;
                 Gossip.run ~rng:grng ~strategy m)
           in
           Array.iter

@@ -15,13 +15,13 @@ let f12 ~seed ~scale =
   let snapshots =
     [
       ("SDG", lazy (let m = Models.create ~rng:(Prng.split rng) Models.SDG ~n ~d in
-                    Models.warm_up m; Models.snapshot m));
+                    Models.warm_up_batch m; Models.snapshot m));
       ("SDGR", lazy (let m = Models.create ~rng:(Prng.split rng) Models.SDGR ~n ~d in
-                     Models.warm_up m; Models.snapshot m));
+                     Models.warm_up_batch m; Models.snapshot m));
       ("PDG", lazy (let m = Models.create ~rng:(Prng.split rng) Models.PDG ~n ~d in
-                    Models.warm_up m; Models.snapshot m));
+                    Models.warm_up_batch m; Models.snapshot m));
       ("PDGR", lazy (let m = Models.create ~rng:(Prng.split rng) Models.PDGR ~n ~d in
-                     Models.warm_up m; Models.snapshot m));
+                     Models.warm_up_batch m; Models.snapshot m));
       ("static d-out", lazy (Static_dout.generate ~rng:(Prng.split rng) ~n ~d ()));
       ("Bitcoin-like", lazy (let m = Churnet_p2p.Bitcoin_like.create ~rng:(Prng.split rng) ~n () in
                              Churnet_p2p.Bitcoin_like.warm_up m;

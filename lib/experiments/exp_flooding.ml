@@ -10,7 +10,7 @@ module Stats = Churnet_util.Stats
 
 let flood_once kind ~rng ~n ~d ~max_rounds =
   let m = Models.create ~rng kind ~n ~d in
-  Models.warm_up m;
+  Models.warm_up_batch m;
   Models.flood ~max_rounds m
 
 (* --- E7: flooding in SDG can stall, and completion needs Omega_d(n). --- *)

@@ -61,6 +61,8 @@ let all =
       (fun ~seed ~scale -> Exp_coupling.f13 ~seed ~scale);
     entry "F14" "In-degree law (Poisson(d a / n))" "figures" (fun ~seed ~scale ->
         Exp_degree_law.f14 ~seed ~scale);
+    entry "E13" "XL tier: million-node PDG under live churn" "extensions"
+      (fun ~seed ~scale -> Exp_xl.e13 ~seed ~scale);
     entry "X1" "Bounded-degree dynamics (Section 5 open question)" "extensions"
       (fun ~seed ~scale -> Exp_extensions.x1 ~seed ~scale);
     entry "X2" "Gossip instead of flooding" "extensions" (fun ~seed ~scale ->

@@ -1,13 +1,25 @@
-type t = Smoke | Standard | Full
+type t = Smoke | Standard | Full | XL
 
 let of_string s =
   match String.lowercase_ascii s with
   | "smoke" -> Some Smoke
   | "standard" -> Some Standard
   | "full" -> Some Full
+  | "xl" -> Some XL
   | _ -> None
 
-let to_string = function Smoke -> "smoke" | Standard -> "standard" | Full -> "full"
+let to_string = function
+  | Smoke -> "smoke"
+  | Standard -> "standard"
+  | Full -> "full"
+  | XL -> "xl"
 
-let pick t ~smoke ~standard ~full =
-  match t with Smoke -> smoke | Standard -> standard | Full -> full
+let all = [ Smoke; Standard; Full; XL ]
+let names = List.map to_string all
+
+let pick ?xl t ~smoke ~standard ~full =
+  match t with
+  | Smoke -> smoke
+  | Standard -> standard
+  | Full -> full
+  | XL -> ( match xl with Some v -> v | None -> full)

@@ -1,12 +1,23 @@
 (** Effort knobs shared by all experiments.  [Smoke] keeps everything
     small enough for CI-style runs (seconds), [Standard] is the default
     used by the benchmark harness, [Full] is for overnight-quality
-    statistics. *)
+    statistics, [XL] is the million-node tier: population sizes where the
+    paper's asymptotic claims become visually unambiguous but a flat CSR
+    snapshot no longer fits comfortably in memory. *)
 
-type t = Smoke | Standard | Full
+type t = Smoke | Standard | Full | XL
 
 val of_string : string -> t option
 val to_string : t -> string
 
-val pick : t -> smoke:'a -> standard:'a -> full:'a -> 'a
-(** Select a value by scale. *)
+val all : t list
+(** Every tier, smallest first. *)
+
+val names : string list
+(** The parseable tier names in [all] order — for CLI error messages
+    that must list the valid values. *)
+
+val pick : ?xl:'a -> t -> smoke:'a -> standard:'a -> full:'a -> 'a
+(** Select a value by scale.  [?xl] defaults to the [full] value, so
+    experiments that have no dedicated million-node configuration run
+    their full-scale one under [XL]. *)

@@ -19,12 +19,48 @@ type t = {
   seed : int;
   scale : Scale.t;
   checkpoint : ckpt option;
+  peak_rss_kb : int option;
 }
 
 (* Telemetry is the one library module allowed to read the wall clock
    (see churnet-lint's no-wallclock rule); everything else — including
    the CLI — borrows this accessor. *)
 let now () = Unix.gettimeofday ()
+
+(* VmHWM ("high-water mark") from /proc/self/status: the process's peak
+   resident set, in kB.  It is monotone over the process lifetime, so one
+   read after the measured call captures the peak the run reached — the
+   number the XL tier's memory envelope is stated in.  [None] on systems
+   without procfs (or a different status format); telemetry then simply
+   omits the field. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            let prefix = "VmHWM:" in
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              let rest =
+                String.trim
+                  (String.sub line (String.length prefix)
+                     (String.length line - String.length prefix))
+              in
+              let kb =
+                match String.index_opt rest ' ' with
+                | Some i -> String.sub rest 0 i
+                | None -> rest
+              in
+              int_of_string_opt kb
+            else scan ()
+      in
+      let result = scan () in
+      close_in_noerr ic;
+      result
 
 let ckpt_delta (s0 : Checkpoint.stats option) (s1 : Checkpoint.stats option) =
   match (s0, s1) with
@@ -71,6 +107,7 @@ let measure ~seed ~scale ?domains f =
       seed;
       scale;
       checkpoint = ckpt_delta c0 c1;
+      peak_rss_kb = peak_rss_kb ();
     } )
 
 let ckpt_to_json c =
@@ -95,4 +132,5 @@ let to_json t =
        ("seed", Json.Int t.seed);
        ("scale", Json.String (Scale.to_string t.scale));
      ]
+    @ (match t.peak_rss_kb with None -> [] | Some kb -> [ ("peak_rss_kb", Json.Int kb) ])
     @ match t.checkpoint with None -> [] | Some c -> [ ("checkpoint", ckpt_to_json c) ])

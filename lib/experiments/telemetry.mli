@@ -24,6 +24,9 @@ type t = {
   checkpoint : ckpt option;
       (** checkpoint-journal activity during the run; [None] when no
           journal was installed *)
+  peak_rss_kb : int option;
+      (** the process's peak resident set (VmHWM, in kB) as of the end of
+          the run; [None] where procfs is unavailable *)
 }
 
 val now : unit -> float
@@ -32,6 +35,12 @@ val now : unit -> float
     no-wallclock rule); callers that need a clock — e.g. the CLI handing
     one to [Checkpoint.set_clock] — must take this one rather than
     reading the OS clock themselves. *)
+
+val peak_rss_kb : unit -> int option
+(** The process's peak resident set so far (VmHWM from
+    [/proc/self/status], in kB); monotone over the process lifetime.
+    [None] where procfs is unavailable.  The kernels bench reports it
+    next to its timings for the XL memory envelope. *)
 
 val measure :
   seed:int -> scale:Scale.t -> ?domains:int -> (unit -> 'a) -> 'a * t

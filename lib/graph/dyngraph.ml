@@ -189,16 +189,20 @@ let random_alive t =
   if t.alive_len = 0 then invalid_arg "Dyngraph.random_alive: empty graph";
   t.alive.(Prng.int t.rng t.alive_len)
 
-(* Uniform alive node distinct from [self]; None when no such node exists. *)
+(* Uniform alive node distinct from [self]; -1 when no such node exists.
+   Returned unboxed (rather than as an option) because this runs once per
+   out-slot on every birth and regeneration — the churn hot path must not
+   allocate.  The rejection loop's draw sequence is part of the
+   interface. *)
 let random_alive_excluding t self =
-  if t.alive_len = 0 then None
-  else if t.alive_len = 1 && t.alive.(0) = self then None
+  if t.alive_len = 0 then -1
+  else if t.alive_len = 1 && t.alive.(0) = self then -1
   else begin
     let rec go () =
       let cand = t.alive.(Prng.int t.rng t.alive_len) in
       if cand = self then go () else cand
     in
-    Some (go ())
+    go ()
   end
 
 let fire_hook t ~src ~dst =
@@ -250,11 +254,11 @@ let add_node t ~birth =
   (* Sample destinations among nodes alive *before* this birth. *)
   let row = s * t.d in
   for slot = 0 to t.d - 1 do
-    match random_alive_excluding t id with
-    | None -> ()
-    | Some target_id ->
-        t.out.(row + slot) <- target_id;
-        Intvec.push t.in_edges.(slot_of t target_id) id
+    let target_id = random_alive_excluding t id in
+    if target_id >= 0 then begin
+      t.out.(row + slot) <- target_id;
+      Intvec.push t.in_edges.(slot_of t target_id) id
+    end
   done;
   finish_birth t id s ~birth
 
@@ -402,13 +406,14 @@ let kill t id =
           if t.out.(srow + !slot) = id then begin
             decr remaining;
             t.out.(srow + !slot) <- -1;
-            if t.regenerate then
-              match random_alive_excluding t src with
-              | None -> ()
-              | Some fresh ->
-                  t.out.(srow + !slot) <- fresh;
-                  Intvec.push t.in_edges.(slot_of t fresh) src;
-                  fire_hook t ~src ~dst:fresh
+            if t.regenerate then begin
+              let fresh = random_alive_excluding t src in
+              if fresh >= 0 then begin
+                t.out.(srow + !slot) <- fresh;
+                Intvec.push t.in_edges.(slot_of t fresh) src;
+                fire_hook t ~src ~dst:fresh
+              end
+            end
           end;
           incr slot
         done
@@ -421,6 +426,41 @@ let kill t id =
   Array.fill t.out row t.d (-1);
   Intvec.clear t.in_edges.(s);
   Intvec.push t.free s
+
+(* Apply a pre-drawn run of churn decisions in one arena pass.  The graph
+   operations — and hence the draws they take from the graph PRNG — happen
+   in batch order, exactly as the equivalent add_node/kill loop would make
+   them, so the resulting arena (including its serialized bytes) is
+   identical.  What the batch path saves is per-jump overhead: [add_node]'s
+   call through [begin_birth] re-clears an out-row and in-edge list that
+   are already pristine ([kill] scrubs slots before recycling them, fresh
+   slots start cleared, and [check_invariants] enforces free-slot
+   cleanliness), which at scale is the dominant constant cost of a birth. *)
+let churn_batch t ~decisions ~count ~birth0 =
+  if count < 0 || count > Bytes.length decisions then
+    invalid_arg "Dyngraph.churn_batch: count out of range";
+  for i = 0 to count - 1 do
+    if Bytes.get decisions i = '\000' then begin
+      let birth = birth0 + i in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let s = alloc_slot t in
+      ensure_id_window t id;
+      t.slot_of_id.(id - t.base) <- s;
+      t.id_of_slot.(s) <- id;
+      t.birth_of_slot.(s) <- birth;
+      let row = s * t.d in
+      for slot = 0 to t.d - 1 do
+        let target_id = random_alive_excluding t id in
+        if target_id >= 0 then begin
+          t.out.(row + slot) <- target_id;
+          Intvec.push t.in_edges.(slot_of t target_id) id
+        end
+      done;
+      ignore (finish_birth t id s ~birth)
+    end
+    else kill t (random_alive t)
+  done
 
 let iter_alive t f =
   for i = 0 to t.alive_len - 1 do

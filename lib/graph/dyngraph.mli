@@ -19,8 +19,10 @@ type node_id = int
     birth order (so [u < v] iff [u] is older than [v]). *)
 
 val create : rng:Churnet_util.Prng.t -> d:int -> regenerate:bool -> unit -> t
-(** [create ~d ~regenerate ()] makes an empty graph.  [rng] defaults to a
-    fixed-seed generator; pass your own for independent replicas. *)
+(** [create ~rng ~d ~regenerate ()] makes an empty graph.  [rng] is the
+    graph's private generator — every topology draw (slot targets,
+    regeneration, victim sampling) consumes it and nothing else, so two
+    graphs given independently split generators evolve independently. *)
 
 val d : t -> int
 val regenerate : t -> bool
@@ -88,6 +90,17 @@ val kill : t -> node_id -> unit
     handled, which changes nothing observable — the draws still happen in
     ascending slot order.)  Raises [Invalid_argument] if the node is not
     alive. *)
+
+val churn_batch : t -> decisions:Bytes.t -> count:int -> birth0:int -> unit
+(** [churn_batch t ~decisions ~count ~birth0] applies the first [count]
+    pre-drawn churn decisions in one arena pass: byte [i] of [decisions]
+    births a node stamped [birth0 + i] when ['\000'], and otherwise kills
+    a uniformly random alive node ({!kill} semantics, regeneration
+    included).  The graph PRNG draws happen in batch order, byte-identical
+    to the equivalent {!add_node} / {!kill} sequence — batching only
+    amortizes per-jump bookkeeping (redundant slot re-clearing, boxed
+    sampling).  Typically driven by [Poisson_churn.decide_batch], whose
+    decision bytes use the same encoding. *)
 
 val alive_count : t -> int
 val is_alive : t -> node_id -> bool

@@ -106,8 +106,133 @@ let test_iter_neighbors_heavy_deaths () =
   let g, _ = run_pair ~seed:23 ~script in
   check_bool "iterators agree after heavy deaths" true (iterators_agree g)
 
+(* --- Batched churn vs per-jump: byte-identical model evolution ------ *)
+(* The batched runners claim bit-identical state — PRNG streams, clock,
+   pending jump, topology.  The strongest possible assertion is equality
+   of the full checkpoint encoding, which serializes all of it. *)
+
+module Poisson_model = Churnet_core.Poisson_model
+module Codec = Churnet_util.Codec
+
+let encoded m =
+  let w = Codec.writer () in
+  Poisson_model.encode w m;
+  Codec.contents w
+
+let pm seed ~regenerate =
+  Poisson_model.create ~rng:(Prng.create seed) ~n:300 ~d:3 ~regenerate ()
+
+let test_batched_run_rounds () =
+  List.iter
+    (fun regenerate ->
+      let a = pm 7 ~regenerate and b = pm 7 ~regenerate in
+      Poisson_model.run_rounds a 9000;
+      Poisson_model.run_rounds_batched b 9000;
+      check_bool "run_rounds == run_rounds_batched" true (encoded a = encoded b))
+    [ false; true ]
+
+let test_batched_warm_up () =
+  let a = pm 11 ~regenerate:true and b = pm 11 ~regenerate:true in
+  Poisson_model.warm_up a;
+  Poisson_model.warm_up_batched b;
+  check_bool "warm_up == warm_up_batched" true (encoded a = encoded b)
+
+(* Interleave deadline runs with per-jump segments so the pending jump is
+   handed in both directions across the batched/per-jump boundary. *)
+let test_batched_run_until_time () =
+  let a = pm 13 ~regenerate:false and b = pm 13 ~regenerate:false in
+  Poisson_model.warm_up a;
+  Poisson_model.warm_up_batched b;
+  for k = 1 to 25 do
+    let deadline = Poisson_model.time a +. (0.37 *. float_of_int k) in
+    Poisson_model.run_until_time a deadline;
+    Poisson_model.run_until_time_batched b deadline;
+    check_bool "deadline runs stay byte-identical" true (encoded a = encoded b);
+    Poisson_model.run_rounds a 13;
+    Poisson_model.run_rounds_batched b 13;
+    check_bool "per-jump after pending stays byte-identical" true (encoded a = encoded b)
+  done;
+  (* A deadline below the next jump: both paths must draw (and keep) the
+     crossing jump without executing anything. *)
+  let deadline = Poisson_model.time a in
+  Poisson_model.run_until_time a deadline;
+  Poisson_model.run_until_time_batched b deadline;
+  check_bool "no-op deadline stays byte-identical" true (encoded a = encoded b)
+
+(* --- Stream_stats vs Snapshot / Metrics ----------------------------- *)
+
+module Stream_stats = Churnet_graph.Stream_stats
+module Metrics = Churnet_graph.Metrics
+module Bitset = Churnet_util.Bitset
+
+let bits = Int64.bits_of_float
+
+let stream_stats_agree g =
+  let snap = Dyngraph.snapshot g in
+  let st = Stream_stats.collect g in
+  st.Stream_stats.population = Snapshot.n snap
+  && st.Stream_stats.isolated = List.length (Snapshot.isolated snap)
+  && st.Stream_stats.max_degree = Snapshot.max_degree snap
+  && bits st.Stream_stats.mean_degree = bits (Snapshot.mean_degree snap)
+  && st.Stream_stats.degree_histogram = Snapshot.degree_histogram snap
+  && bits st.Stream_stats.degree_gini = bits (Metrics.degree_gini snap)
+
+let boundary_agrees ~seed g =
+  let snap = Dyngraph.snapshot g in
+  let n = Snapshot.n snap in
+  let rng = Prng.create seed in
+  let ok = ref true in
+  for _ = 1 to 5 do
+    let id_set = Bitset.create 1 in
+    let idx_set = Bitset.create (max 1 n) in
+    for i = 0 to n - 1 do
+      if Prng.bernoulli rng 0.3 then begin
+        let id = Snapshot.id_of_index snap i in
+        Bitset.ensure_capacity id_set (id + 1);
+        Bitset.add id_set id;
+        Bitset.add idx_set i
+      end
+    done;
+    if Stream_stats.boundary_size g id_set <> Snapshot.boundary_size snap idx_set then
+      ok := false;
+    if bits (Stream_stats.expansion g id_set) <> bits (Snapshot.expansion snap idx_set)
+    then ok := false
+  done;
+  !ok
+
+let test_stream_stats_empty () =
+  let g = Dyngraph.create ~rng:(Prng.create 3) ~d:3 ~regenerate:false () in
+  check_bool "stream stats on the empty graph" true (stream_stats_agree g)
+
+let test_stream_stats_churned () =
+  let rng = Prng.create 31 in
+  let script =
+    List.init 80 (fun _ -> false) @ List.init 300 (fun _ -> Prng.bernoulli rng 0.55)
+  in
+  let g, _ = run_pair ~seed:37 ~script in
+  check_bool "stream stats after churn" true (stream_stats_agree g);
+  check_bool "boundary/expansion after churn" true (boundary_agrees ~seed:41 g)
+
+let test_stream_stats_poisson () =
+  List.iter
+    (fun regenerate ->
+      let m = pm 43 ~regenerate in
+      Poisson_model.warm_up_batched m;
+      let g = Poisson_model.graph m in
+      check_bool "stream stats on a warmed Poisson graph" true (stream_stats_agree g);
+      check_bool "boundary/expansion on a warmed Poisson graph" true
+        (boundary_agrees ~seed:47 g))
+    [ false; true ]
+
 let qcheck_props =
   [
+    QCheck.Test.make ~name:"stream_stats == snapshot stats on random scripts" ~count:40
+      QCheck.(pair small_int (list_of_size (Gen.int_range 10 150) bool))
+      (fun (seed, script) ->
+        let g, _ = run_pair ~seed ~script in
+        stream_stats_agree g);
+  ]
+  @ [
     QCheck.Test.make ~name:"dyngraph == reference oracle on random scripts" ~count:60
       QCheck.(pair small_int (list_of_size (Gen.int_range 10 150) bool))
       (fun (seed, script) ->
@@ -127,5 +252,11 @@ let suite =
     ("heavy deaths", `Quick, test_heavy_deaths);
     ("iter_neighbors mixed churn", `Quick, test_iter_neighbors_mixed_script);
     ("iter_neighbors heavy deaths", `Quick, test_iter_neighbors_heavy_deaths);
+    ("batched run_rounds byte-identical", `Quick, test_batched_run_rounds);
+    ("batched warm_up byte-identical", `Quick, test_batched_warm_up);
+    ("batched run_until_time byte-identical", `Quick, test_batched_run_until_time);
+    ("stream stats: empty graph", `Quick, test_stream_stats_empty);
+    ("stream stats: churned graph", `Quick, test_stream_stats_churned);
+    ("stream stats: warmed Poisson graph", `Quick, test_stream_stats_poisson);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props

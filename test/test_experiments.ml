@@ -11,19 +11,26 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let test_scale_roundtrip () =
+  (* Exhaustive over [Scale.all] so a new tier cannot dodge the test. *)
   List.iter
     (fun s ->
       Alcotest.(check (option string))
         "roundtrip"
         (Some (Scale.to_string s))
         (Option.map Scale.to_string (Scale.of_string (Scale.to_string s))))
-    [ Scale.Smoke; Scale.Standard; Scale.Full ];
+    Scale.all;
+  check_int "all tiers present" 4 (List.length Scale.all);
+  Alcotest.(check (list string))
+    "names in all order" [ "smoke"; "standard"; "full"; "xl" ] Scale.names;
+  check_bool "case insensitive" true (Scale.of_string "XL" = Some Scale.XL);
   check_bool "unknown" true (Scale.of_string "banana" = None)
 
 let test_scale_pick () =
   check_int "picks smoke" 1 (Scale.pick Scale.Smoke ~smoke:1 ~standard:2 ~full:3);
   check_int "picks standard" 2 (Scale.pick Scale.Standard ~smoke:1 ~standard:2 ~full:3);
-  check_int "picks full" 3 (Scale.pick Scale.Full ~smoke:1 ~standard:2 ~full:3)
+  check_int "picks full" 3 (Scale.pick Scale.Full ~smoke:1 ~standard:2 ~full:3);
+  check_int "picks xl" 4 (Scale.pick ~xl:4 Scale.XL ~smoke:1 ~standard:2 ~full:3);
+  check_int "xl defaults to full" 3 (Scale.pick Scale.XL ~smoke:1 ~standard:2 ~full:3)
 
 let test_registry_lookup () =
   check_bool "finds E1" true (Registry.find "E1" <> None);

@@ -290,6 +290,23 @@ let test_degree_histogram () =
   let h = Snapshot.degree_histogram s in
   Alcotest.(check (array int)) "histogram" [| 0; 2; 2 |] h
 
+let test_degree_histogram_edge_cases () =
+  (* Empty graph: no degrees at all, but the histogram still has its
+     degree-0 bucket. *)
+  let empty = Snapshot.of_edges ~n:0 [] in
+  Alcotest.(check (array int)) "empty graph" [| 0 |] (Snapshot.degree_histogram empty);
+  (* All-isolated population: everyone lands in the one bucket. *)
+  let isolated = Snapshot.of_edges ~n:5 [] in
+  Alcotest.(check (array int))
+    "all isolated" [| 5 |]
+    (Snapshot.degree_histogram isolated);
+  (* Single max-degree hub: the histogram stretches to the hub's degree
+     with empty buckets in between. *)
+  let star = Snapshot.of_edges ~n:6 [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  Alcotest.(check (array int))
+    "star hub" [| 0; 5; 0; 0; 0; 1 |]
+    (Snapshot.degree_histogram star)
+
 let test_snapshot_from_dyngraph_symmetry () =
   let g = fresh ~seed:23 ~d:3 ~regenerate:true () in
   for i = 1 to 80 do
@@ -507,6 +524,7 @@ let suite =
     ("expansion values", `Quick, test_expansion_values);
     ("expansion empty nan", `Quick, test_expansion_empty_nan);
     ("degree histogram", `Quick, test_degree_histogram);
+    ("degree histogram edge cases", `Quick, test_degree_histogram_edge_cases);
     ("dyngraph snapshot symmetry", `Quick, test_snapshot_from_dyngraph_symmetry);
     ("snapshot age order", `Quick, test_snapshot_age_order);
     ("snapshot index mapping", `Quick, test_snapshot_index_mapping);
