@@ -23,11 +23,13 @@ let domains_arg =
 let apply_domains = function
   | None -> (
       (* Validate an inherited CHURNET_DOMAINS up front so a typo fails
-         with a clean message, not mid-experiment. *)
+         with a clean message, not mid-experiment — and with the same
+         exit code (124) cmdliner uses for a malformed option, since a
+         bad env var is the same class of usage error as a bad flag. *)
       try ignore (Churnet_util.Parallel.domains_from_env ())
       with Invalid_argument msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 1)
+        Printf.eprintf "churnet: %s\n" msg;
+        exit 124)
   | Some d ->
       if d < 1 then begin
         Printf.eprintf "--domains must be a positive integer\n";
@@ -369,6 +371,76 @@ let flood_cmd =
     (Cmd.info "flood" ~doc:"Run one flooding experiment and print the round-by-round trace.")
     Term.(const run $ kind_arg $ n_arg $ d_arg $ seed_arg)
 
+(* Declarative grid sweeps.  stdout (the rendered sweep) and the --json
+   trajectory file are pure functions of the config: telemetry, progress
+   and checkpoint chatter all go to stderr, so a serial, a --domains 4
+   and a crash/resumed run of the same config are byte-comparable. *)
+let sweep_cmd =
+  let module Sweep = Churnet_experiments.Sweep in
+  let config_arg =
+    let doc =
+      "Sweep grid config (JSON, schema churnet-sweep-config/1): a \
+       \"grid\" of model/n/d/lambda/seeds axes and/or an \"experiments\" \
+       list of registry ids with seeds and a scale."
+    in
+    Arg.(required & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc)
+  in
+  let sweep_json_arg =
+    let doc =
+      "Write the aggregated churnet-sweep/1 trajectory document (config \
+       echo, per-experiment reports, per-cell metrics, figures) to \
+       $(docv).  Byte-identical for a given config whatever the domain \
+       count or crash/resume history."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run config json domains ckpt resume every crash_at =
+    apply_domains domains;
+    match Sweep.config_of_file config with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok cfg ->
+        arm_crash crash_at;
+        (* The journal identity is the canonical config digest: resuming
+           under an edited grid must be refused (cell index = work-unit
+           index), while an irrelevant CLI detail like the config's path
+           must not invalidate the journal. *)
+        let meta =
+          Printf.sprintf "churnet exe=%s cmd=sweep:%s" (exe_digest ())
+            (Digest.to_hex
+               (Digest.string (Churnet_util.Json.to_string (Sweep.config_to_json cfg))))
+        in
+        let journal = setup_journal ~ckpt ~resume ~every ~meta in
+        let progress line = Printf.eprintf "... %s\n%!" line in
+        let outcome = Sweep.run ~progress cfg in
+        finish_journal journal;
+        print_string (Sweep.render outcome);
+        List.iter
+          (fun (e : Sweep.exp_result) ->
+            Printf.eprintf "telemetry %s seed %d: %.3fs%s\n%!" e.exp_id e.exp_seed
+              e.telemetry.Telemetry.wall_seconds
+              (match e.telemetry.Telemetry.cell_peak_rss_kb with
+              | Some kb -> Printf.sprintf ", cell peak rss %d kB" kb
+              | None -> ""))
+          outcome.Sweep.exp_results;
+        (match json with
+        | Some path ->
+            Churnet_util.Json.write_file ~pretty:true path (Sweep.to_json outcome);
+            Printf.eprintf "wrote %s\n%!" path
+        | None -> ());
+        if not (Sweep.all_hold outcome) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a declarative parameter sweep from a grid config and \
+          aggregate one churnet-sweep/1 trajectory document (resumable \
+          with --ckpt/--resume).")
+    Term.(
+      const run $ config_arg $ sweep_json_arg $ domains_arg $ ckpt_arg $ resume_arg
+      $ every_arg $ crash_at_arg)
+
 (* State-level checkpointing demo: the scripted record/replay run of the
    byte-equality suite (graph seed 4242, script seed 999, d = 3, 150
    steps), checkpointed as a full state snapshot — step counter, script
@@ -478,6 +550,7 @@ let () =
             run_cmd;
             all_cmd;
             demo_cmd;
+            sweep_cmd;
             fingerprint_cmd;
             flood_cmd;
             record_replay_cmd;

@@ -21,10 +21,20 @@ let regenerates = function SDGR | PDGR -> true | SDG | PDG -> false
 
 type t = Streaming of Streaming_model.t | Poisson of Poisson_model.t
 
-let create ~rng kind ~n ~d =
-  if is_streaming kind then
+let create ~rng ?(lambda = 1.0) kind ~n ~d =
+  if is_streaming kind then begin
+    (* Streaming churn (Definition 3.2) has no rate parameter: one birth
+       per round, lifetime exactly n.  Refuse a lambda that could not
+       take effect rather than silently ignore it. *)
+    if lambda <> 1.0 then
+      invalid_arg
+        (Printf.sprintf
+           "Models.create: %s is a streaming model; lambda = %g is not \
+            expressible (only Poisson models take an arrival rate)"
+           (kind_name kind) lambda);
     Streaming (Streaming_model.create ~rng ~n ~d ~regenerate:(regenerates kind) ())
-  else Poisson (Poisson_model.create ~rng ~n ~d ~regenerate:(regenerates kind) ())
+  end
+  else Poisson (Poisson_model.create ~rng ~lambda ~n ~d ~regenerate:(regenerates kind) ())
 
 let kind = function
   | Streaming m -> if Streaming_model.regenerates m then SDGR else SDG

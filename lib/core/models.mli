@@ -20,7 +20,12 @@ type t =
   | Streaming of Streaming_model.t
   | Poisson of Poisson_model.t
 
-val create : rng:Churnet_util.Prng.t -> kind -> n:int -> d:int -> t
+val create : rng:Churnet_util.Prng.t -> ?lambda:float -> kind -> n:int -> d:int -> t
+(** [lambda] (default 1, the paper's normalization) is the Poisson
+    arrival rate, forwarded to {!Poisson_model.create} for PDG/PDGR.
+    Streaming models have no rate parameter; [Invalid_argument] when
+    [lambda <> 1.0] for SDG/SDGR rather than a silently ignored knob. *)
+
 val kind : t -> kind
 val n : t -> int
 val d : t -> int

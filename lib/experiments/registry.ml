@@ -105,6 +105,18 @@ let select ?ids () =
              (String.concat ", " (List.map (fun e -> e.id) all)));
       List.filter (fun e -> List.mem (String.uppercase_ascii e.id) wanted) all
 
+(* One cell by id, with the run parameters supplied by the caller (the
+   sweep planner hands every cell its own seed and scale from the grid
+   config) instead of the CLI's single baked-in --seed/--scale pair. *)
+let run_cell ~id ~seed ~scale =
+  match find id with
+  | Some e -> e.run ~seed ~scale
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.run_cell: unknown experiment id %S (valid ids: %s)"
+           id
+           (String.concat ", " (List.map (fun e -> e.id) all)))
+
 let run_all ?ids ~seed ~scale () =
   List.map (fun e -> e.run ~seed ~scale) (select ?ids ())
 

@@ -19,6 +19,12 @@ val figures : entry list
 val extensions : entry list
 val theory : entry list
 
+val run_cell : id:string -> seed:int -> scale:Scale.t -> Report.t
+(** Run one cell by id (case-insensitive) with explicit parameter
+    overrides — the sweep planner invokes every cell with its own seed
+    and scale from the grid config rather than one baked-in CLI pair.
+    Raises [Invalid_argument] naming the valid ids on an unknown id. *)
+
 val run_all :
   ?ids:string list -> seed:int -> scale:Scale.t -> unit -> Report.t list
 (** Run the selected experiments (default: all) and return their reports

@@ -1,0 +1,108 @@
+(** Declarative parameter sweeps over the paper's grid.
+
+    A sweep config (JSON, schema ["churnet-sweep-config/1"]) declares a
+    grid of (model x n x d x lambda x seed) cells and/or a list of
+    registry experiment cells; {!run} executes every cell — grid cells
+    through {!Churnet_util.Parallel.map}, so the ambient
+    {!Churnet_util.Checkpoint} journal makes each one a resumable work
+    unit — and {!to_json} aggregates the results into one
+    ["churnet-sweep/1"] trajectory document whose bytes depend only on
+    the config (never on domain count, telemetry or crash/resume
+    history). *)
+
+type grid = {
+  models : Churnet_core.Models.kind list;
+  ns : int list;
+  ds : int list;
+  lambdas : float list;  (** default [[1.0]], the paper's normalization *)
+  grid_seeds : int list;
+}
+
+type experiments = {
+  ids : string list;  (** registry ids, validated at parse time *)
+  exp_seeds : int list;  (** default [[42]] *)
+  exp_scale : Scale.t;  (** default [Smoke] *)
+}
+
+type config = {
+  name : string;
+  grid : grid option;
+  experiments : experiments option;
+}
+
+type cell = {
+  model : Churnet_core.Models.kind;
+  n : int;
+  d : int;
+  lambda : float;
+  cell_seed : int;
+}
+
+type metrics = {
+  population : int;
+  isolated : int;
+  max_degree : int;
+  mean_degree : float;
+  rounds : int;
+  half_coverage_round : int option;
+      (** first round with >= 50% of the live population informed *)
+  completion_round : int option;
+  completed : bool;
+  extinct : bool;
+  peak_coverage : float;
+  final_coverage : float;
+}
+
+type exp_result = {
+  exp_id : string;
+  exp_seed : int;
+  report : Report.t;
+  telemetry : Telemetry.t;
+      (** side channel for the CLI's stderr lines; never serialized into
+          the sweep document *)
+}
+
+type outcome = {
+  config : config;
+  exp_results : exp_result list;
+  cell_results : (cell * metrics) array;  (** in {!cells} order *)
+}
+
+val config_of_json : Churnet_util.Json.t -> (config, string) result
+(** Parse and validate: schema tag, non-empty duplicate-free axes, known
+    model names and experiment ids, positive n/d/lambda, and no
+    streaming model combined with lambda <> 1. *)
+
+val config_of_file : string -> (config, string) result
+(** {!config_of_json} on the parsed contents of a JSON file. *)
+
+val config_to_json : config -> Churnet_util.Json.t
+(** Canonical form (defaults filled in): echoed into the trajectory
+    document and digested into the checkpoint-journal identity line. *)
+
+val cells : config -> cell list
+(** Grid expansion, models -> n -> d -> lambda -> seeds in listed order.
+    The order is part of the on-disk format: cell index = work-unit
+    index in the checkpoint journal. *)
+
+val run : ?progress:(string -> unit) -> config -> outcome
+(** Execute the sweep: experiment cells sequentially (their internal
+    [Parallel.map] calls own the journal sites), then all grid cells
+    through one flat [Parallel.map].  [progress] receives one short
+    line per scheduling step (the CLI forwards it to stderr). *)
+
+val all_hold : outcome -> bool
+(** Whether every check of every experiment cell holds. *)
+
+val to_json : outcome -> Churnet_util.Json.t
+(** The ["churnet-sweep/1"] trajectory document: config echo, one
+    report object per experiment cell (without telemetry), one metrics
+    object per grid cell, and the rendered figures.  A pure function of
+    the config — byte-identical across serial, multi-domain and
+    crash-resumed runs. *)
+
+val render : outcome -> string
+(** Human-readable rollup: experiment reports and summary, grid metrics
+    table, and the asymptotic-shape figures (flooding rounds vs n on a
+    log axis when the grid spans >= 2 population sizes, peak coverage
+    vs d when it spans >= 2 degrees). *)

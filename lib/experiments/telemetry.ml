@@ -20,6 +20,7 @@ type t = {
   scale : Scale.t;
   checkpoint : ckpt option;
   peak_rss_kb : int option;
+  cell_peak_rss_kb : int option;
 }
 
 (* Telemetry is the one library module allowed to read the wall clock
@@ -89,12 +90,24 @@ let measure ~seed ~scale ?domains f =
     | None -> Churnet_util.Parallel.domains_from_env ()
   in
   let c0 = Checkpoint.active_stats () in
+  let rss0 = peak_rss_kb () in
   let g0 = Gc.quick_stat () in
   let t0 = now () in
   let result = f () in
   let wall_seconds = now () -. t0 in
   let g1 = Gc.quick_stat () in
+  let rss1 = peak_rss_kb () in
   let c1 = Checkpoint.active_stats () in
+  (* VmHWM is process-wide and monotone, so in a multi-cell run every
+     cell after the first inherits the maximum of its predecessors.  The
+     watermark is honestly attributable to *this* cell only when it rose
+     during the call; when it predates the cell we omit the per-cell
+     field rather than report a predecessor's footprint. *)
+  let cell_peak_rss_kb =
+    match (rss0, rss1) with
+    | Some before, Some after when after > before -> Some after
+    | _ -> None
+  in
   ( result,
     {
       wall_seconds;
@@ -107,7 +120,8 @@ let measure ~seed ~scale ?domains f =
       seed;
       scale;
       checkpoint = ckpt_delta c0 c1;
-      peak_rss_kb = peak_rss_kb ();
+      peak_rss_kb = rss1;
+      cell_peak_rss_kb;
     } )
 
 let ckpt_to_json c =
@@ -133,4 +147,7 @@ let to_json t =
        ("scale", Json.String (Scale.to_string t.scale));
      ]
     @ (match t.peak_rss_kb with None -> [] | Some kb -> [ ("peak_rss_kb", Json.Int kb) ])
+    @ (match t.cell_peak_rss_kb with
+      | None -> []
+      | Some kb -> [ ("cell_peak_rss_kb", Json.Int kb) ])
     @ match t.checkpoint with None -> [] | Some c -> [ ("checkpoint", ckpt_to_json c) ])

@@ -26,7 +26,14 @@ type t = {
           journal was installed *)
   peak_rss_kb : int option;
       (** the process's peak resident set (VmHWM, in kB) as of the end of
-          the run; [None] where procfs is unavailable *)
+          the run; [None] where procfs is unavailable.  Process-wide and
+          monotone: in a multi-cell run it carries the maximum over this
+          cell {e and all predecessors}. *)
+  cell_peak_rss_kb : int option;
+      (** the watermark when it is honestly attributable to this cell:
+          [Some] (the end-of-run VmHWM) only when the watermark rose
+          during the measured call, [None] when it predates the cell (a
+          predecessor's footprint) or procfs is unavailable *)
 }
 
 val now : unit -> float
@@ -54,6 +61,7 @@ val measure :
 
 val to_json : t -> Churnet_util.Json.t
 (** Flat object: wall_seconds, minor/promoted/major words, collection
-    counts, domains, seed and scale (as a string); plus a "checkpoint"
-    object (units stored/restored, writes, write_seconds) when a journal
-    was active. *)
+    counts, domains, seed and scale (as a string); plus "peak_rss_kb" /
+    "cell_peak_rss_kb" when known and a "checkpoint" object (units
+    stored/restored, writes, write_seconds) when a journal was
+    active. *)

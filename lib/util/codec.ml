@@ -219,17 +219,46 @@ let read_file ~schema:tag path =
   in
   unframe ~schema:tag data
 
-(* Atomic write: the bytes land in a sibling temp file first and the
-   final name appears only via rename, so a crash mid-write can never
-   leave a half-written checkpoint under the real path. *)
+(* Atomic + durable write: the bytes land in a sibling temp file first
+   and the final name appears only via rename, so a crash mid-write can
+   never leave a half-written checkpoint under the real path.  The temp
+   file is fsynced before the rename — otherwise a power loss could make
+   the rename durable while the data is not, leaving a truncated file
+   under the real path, exactly the torn state the rename is meant to
+   rule out.  A failed write unlinks the temp file instead of leaking
+   it, and the temp name carries a pid + per-process counter suffix so
+   concurrent writers (sweep worker domains, parallel processes)
+   checkpointing the same path never clobber each other's staging
+   bytes. *)
+let tmp_seq = Atomic.make 0
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
 let write_file ~schema:tag path fill =
   let data = frame ~schema:tag fill in
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   let oc =
     try open_out_bin tmp
     with Sys_error e -> fail "Codec: cannot write %s: %s" tmp e
   in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc data);
-  Sys.rename tmp path
+  (try
+     output_string oc data;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | Sys_error e ->
+      close_out_noerr oc;
+      remove_noerr tmp;
+      fail "Codec: cannot write %s: %s" tmp e
+  | Unix.Unix_error (err, _, _) ->
+      close_out_noerr oc;
+      remove_noerr tmp;
+      fail "Codec: cannot sync %s: %s" tmp (Unix.error_message err));
+  close_out_noerr oc;
+  try Sys.rename tmp path
+  with Sys_error e ->
+    remove_noerr tmp;
+    fail "Codec: cannot rename %s to %s: %s" tmp path e

@@ -77,9 +77,13 @@ val unframe : schema:string -> string -> reader
 (** Validate the envelope and return a reader over the payload. *)
 
 val write_file : schema:string -> string -> (writer -> unit) -> unit
-(** Framed {!frame} output written atomically: the bytes go to a [.tmp]
-    sibling first and reach [path] only through [Sys.rename], so a crash
-    mid-write never leaves a torn file under the checkpoint path. *)
+(** Framed {!frame} output written atomically and durably: the bytes go
+    to a collision-safe temp sibling (pid + counter suffix, so
+    concurrent writers to the same path never share staging files), are
+    fsynced, and reach [path] only through [Sys.rename] — a crash at any
+    point leaves either the old file or the complete new one, never a
+    torn or truncated checkpoint.  A failed write removes the temp file
+    and raises {!Error}. *)
 
 val read_file : schema:string -> string -> reader
 (** Read and {!unframe} a whole file. *)

@@ -25,6 +25,12 @@ module Checkpoint = Churnet_util.Checkpoint
 let experiment_ids = [ "E1"; "E10"; "F4"; "F6"; "F8"; "F14" ]
 let record_replay_steps = 150
 
+(* The sweep target reads its grid from the checked-in smoke config and
+   must reproduce both checked-in outputs: the rendered text (stdout)
+   and the churnet-sweep/1 trajectory file (--json). *)
+let sweep_config = "sweep_smoke_config.json"
+let sweep_golden = "sweep_smoke"
+
 (* --- tiny arg parser (the harness must not depend on cmdliner) ------- *)
 
 type config = {
@@ -50,7 +56,7 @@ let parse_args () =
       kills = 3;
       seed = 42;
       artifacts = None;
-      ids = experiment_ids @ [ "record-replay" ];
+      ids = experiment_ids @ [ "record-replay"; "sweep" ];
     }
   in
   let rec go = function
@@ -207,6 +213,66 @@ let run_experiment cfg outcome rng tmp id =
       (kill_points rng ~wanted:cfg.kills ~hi:units)
   end
 
+(* Sweep crash/resume: like run_experiment but the unit of work is a
+   grid cell (or an inner unit of an experiment cell), and on top of the
+   stdout golden the aggregated trajectory file must also come out
+   byte-identical after a mid-sweep SIGKILL. *)
+let run_sweep cfg outcome rng tmp =
+  let id = sweep_golden in
+  let config_path = Filename.concat cfg.golden sweep_config in
+  let golden_txt = Filename.concat cfg.golden (sweep_golden ^ ".txt") in
+  let golden_json = Filename.concat cfg.golden (sweep_golden ^ ".json") in
+  let ckpt = Filename.concat tmp "sweep.ckpt" in
+  let out k tag = Filename.concat tmp (Printf.sprintf "%s.%d.%s" id k tag) in
+  let base_args = [ "sweep"; "--config"; config_path ] in
+  let probe_status =
+    run_child cfg.bin
+      (base_args
+      @ [ "--ckpt"; ckpt; "--checkpoint-every"; "1"; "--json"; out 0 "probe.json" ])
+      ~out:(out 0 "probe")
+  in
+  (match probe_status with
+  | Unix.WEXITED 0 | Unix.WEXITED 2 -> ()
+  | other -> fail cfg outcome ~ckpt "sweep probe run: %s" (status_name other));
+  check_bytes cfg outcome ~ckpt ~golden_path:golden_txt ~out:(out 0 "probe")
+    ~what:"sweep probe stdout";
+  check_bytes cfg outcome ~ckpt ~golden_path:golden_json ~out:(out 0 "probe.json")
+    ~what:"sweep probe trajectory file";
+  let _, units = Checkpoint.inspect ckpt in
+  if units < 1 then fail cfg outcome ~ckpt "sweep journaled no work units"
+  else begin
+    Printf.printf "sweep: %d work units, kill points from [1, %d]\n%!" units units;
+    List.iter
+      (fun k ->
+        Sys.remove ckpt;
+        let what = Printf.sprintf "sweep --crash-at %d" k in
+        let status =
+          run_child cfg.bin
+            (base_args
+            @ [
+                "--ckpt"; ckpt; "--checkpoint-every"; "1"; "--crash-at"; string_of_int k;
+              ])
+            ~out:(out k "crash")
+        in
+        expect_sigkill cfg outcome ~ckpt ~what status;
+        let resume_status =
+          run_child cfg.bin
+            (base_args @ [ "--resume"; ckpt; "--json"; out k "resumed.json" ])
+            ~out:(out k "resumed")
+        in
+        (match resume_status with
+        | Unix.WEXITED 0 | Unix.WEXITED 2 -> ()
+        | other ->
+            fail cfg outcome ~ckpt "sweep resume after kill at %d: %s" k
+              (status_name other));
+        check_bytes cfg outcome ~ckpt ~golden_path:golden_txt ~out:(out k "resumed")
+          ~what:(Printf.sprintf "sweep stdout resumed after kill at unit %d" k);
+        check_bytes cfg outcome ~ckpt ~golden_path:golden_json
+          ~out:(out k "resumed.json")
+          ~what:(Printf.sprintf "sweep trajectory resumed after kill at unit %d" k))
+      (kill_points rng ~wanted:cfg.kills ~hi:units)
+  end
+
 let run_record_replay cfg outcome rng tmp =
   let id = "record_replay" in
   let golden_path = Filename.concat cfg.golden (id ^ ".txt") in
@@ -251,6 +317,7 @@ let () =
     (fun id ->
       if id = "record-replay" || id = "record_replay" then
         run_record_replay cfg outcome rng tmp
+      else if id = "sweep" then run_sweep cfg outcome rng tmp
       else run_experiment cfg outcome rng tmp id)
     cfg.ids;
   Printf.printf "crash harness: %d checks, %d failures\n%!" outcome.checks

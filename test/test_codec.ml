@@ -398,6 +398,91 @@ let test_onion_inflight_roundtrip () =
   done;
   check_bool "identical results" true (Onion.finish_state st = Onion.finish_state st')
 
+(* --- write_file durability hygiene --- *)
+
+let fresh_dir =
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "churnet-codec-%d-%d" (Unix.getpid ()) !seq)
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+    dir
+
+let tmp_leftovers dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f ->
+         let rec has_sub i =
+           i + 4 <= String.length f && (String.sub f i 4 = ".tmp" || has_sub (i + 1))
+         in
+         has_sub 0)
+
+(* A successful write leaves exactly the target file: the staging temp
+   must have been renamed away, never left as a sibling. *)
+let test_write_file_leaves_no_tmp () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "state.ckpt" in
+  Codec.write_file ~schema:Codec.schema path (fun w -> Codec.varint w 42);
+  let r = Codec.read_file ~schema:Codec.schema path in
+  check_int "payload survives" 42 (Codec.read_varint r);
+  Codec.expect_end r;
+  check_int "no tmp leftovers" 0 (List.length (tmp_leftovers dir))
+
+(* A failed write (here: the rename refused because the target is a
+   directory) must raise Codec.Error and unlink its temp file instead of
+   leaking it next to the checkpoint path. *)
+let test_write_file_failure_removes_tmp () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "occupied" in
+  Sys.mkdir path 0o700;
+  check_bool "write into a directory path is refused" true
+    (match Codec.write_file ~schema:Codec.schema path (fun w -> Codec.varint w 1) with
+    | () -> false
+    | exception Codec.Error _ -> true);
+  check_int "failed write leaves no tmp file" 0 (List.length (tmp_leftovers dir))
+
+(* An unwritable destination fails before any temp file exists. *)
+let test_write_file_unwritable_dir () =
+  let dir = fresh_dir () in
+  let path = Filename.concat (Filename.concat dir "missing") "state.ckpt" in
+  check_bool "missing directory is a clean Codec.Error" true
+    (match Codec.write_file ~schema:Codec.schema path (fun w -> Codec.varint w 1) with
+    | () -> false
+    | exception Codec.Error _ -> true)
+
+(* Concurrent writers to the same path (sweep worker domains share a
+   pid!) must not clobber each other's staging bytes: every temp name is
+   unique, the surviving file is one of the complete payloads, and no
+   temp files are left behind. *)
+let test_write_file_concurrent_same_path () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "shared.ckpt" in
+  let writers = 4 and rounds = 8 in
+  let handles =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for r = 1 to rounds do
+              Codec.write_file ~schema:Codec.schema path (fun wr ->
+                  Codec.varint wr w;
+                  Codec.varint wr r;
+                  (* bulk payload so staged writes overlap in time *)
+                  Codec.int_array wr (Array.make 4096 (w * 1000 + r)))
+            done))
+  in
+  List.iter Domain.join handles;
+  let r = Codec.read_file ~schema:Codec.schema path in
+  let w = Codec.read_varint r in
+  let rnd = Codec.read_varint r in
+  let bulk = Codec.read_int_array r in
+  Codec.expect_end r;
+  check_bool "winning writer id in range" true (w >= 0 && w < writers);
+  check_bool "winning round in range" true (rnd >= 1 && rnd <= rounds);
+  check_bool "payload internally consistent" true
+    (Array.for_all (fun v -> v = (w * 1000) + rnd) bulk && Array.length bulk = 4096);
+  check_int "no tmp leftovers" 0 (List.length (tmp_leftovers dir))
+
 let qcheck_props =
   [
     QCheck.Test.make ~name:"varint round-trips any int" ~count:500 QCheck.int (fun v ->
@@ -431,5 +516,9 @@ let suite =
     ("flood poisson in-flight round-trip", `Quick, test_flood_poisson_inflight_roundtrip);
     ("flood state rejects inconsistency", `Quick, test_flood_state_rejects_inconsistency);
     ("onion in-flight round-trip", `Quick, test_onion_inflight_roundtrip);
+    ("write_file leaves no tmp", `Quick, test_write_file_leaves_no_tmp);
+    ("write_file failure removes tmp", `Quick, test_write_file_failure_removes_tmp);
+    ("write_file unwritable dir", `Quick, test_write_file_unwritable_dir);
+    ("write_file concurrent same path", `Quick, test_write_file_concurrent_same_path);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props

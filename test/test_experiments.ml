@@ -168,6 +168,41 @@ let test_json_schema_smoke () =
   let tables = Json.as_list (Option.get (Json.member "tables" report)) in
   check_int "table count" (List.length r.Report.tables) (List.length tables)
 
+(* Per-cell RSS attribution: VmHWM is process-wide and monotone, so in a
+   multi-cell run every cell after the first inherits the maximum of its
+   predecessors.  Two dummy cells of very different footprints: the big
+   one must claim the watermark (cell_peak_rss_kb set), the tiny one
+   that follows must inherit the absolute number but NOT claim it. *)
+let test_cell_peak_rss_attribution () =
+  match Telemetry.peak_rss_kb () with
+  | None -> () (* no procfs: nothing to attribute *)
+  | Some baseline_kb when baseline_kb > 2_000_000 ->
+      (* pathological watermark (> 2 GB): pushing past it would OOM the
+         test runner, and the attribution logic is watermark-relative
+         anyway *)
+      ()
+  | Some baseline_kb ->
+      let big_bytes = (baseline_kb * 1024) + (96 * 1024 * 1024) in
+      let _, t1 =
+        Telemetry.measure ~seed:0 ~scale:Scale.Smoke ~domains:1 (fun () ->
+            (* Bytes.make touches every page, so RSS really reaches the
+               target and the watermark must rise during this cell *)
+            Sys.opaque_identity (Bytes.length (Bytes.make big_bytes 'x')))
+      in
+      let _, t2 =
+        Telemetry.measure ~seed:0 ~scale:Scale.Smoke ~domains:1 (fun () ->
+            Sys.opaque_identity (Array.length (Array.make 8 0)))
+      in
+      check_bool "big cell claims the watermark" true (t1.Telemetry.cell_peak_rss_kb <> None);
+      check_bool "big cell per-cell equals absolute" true
+        (t1.Telemetry.cell_peak_rss_kb = t1.Telemetry.peak_rss_kb);
+      check_bool "tiny cell does not claim the inherited watermark" true
+        (t2.Telemetry.cell_peak_rss_kb = None);
+      check_bool "tiny cell still reports the absolute watermark" true
+        (match (t1.Telemetry.peak_rss_kb, t2.Telemetry.peak_rss_kb) with
+        | Some big, Some after -> after >= big
+        | _ -> false)
+
 (* Text rendering must be byte-identical whether or not JSON is emitted:
    same seed, one run through run_all, one through run_timed (+ to_json),
    identical bytes. *)
@@ -195,5 +230,6 @@ let suite =
     ("run_all subset", `Quick, test_run_all_subset);
     ("run_all unknown ids raise", `Quick, test_run_all_unknown_ids_raise);
     ("json schema smoke", `Quick, test_json_schema_smoke);
+    ("cell peak rss attribution", `Quick, test_cell_peak_rss_attribution);
     ("render unchanged by json emission", `Quick, test_render_unchanged_by_json_emission);
   ]

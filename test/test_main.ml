@@ -22,6 +22,7 @@ let () =
       ("event-log", Test_event_log.suite);
       ("api-surface", Test_api_surface.suite);
       ("experiments", Test_experiments.suite);
+      ("sweep", Test_sweep.suite);
       ("differential", Test_differential.suite);
       ("byte-equality", Test_byte_equality.suite);
     ]
